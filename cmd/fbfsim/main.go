@@ -1,0 +1,236 @@
+// Command fbfsim regenerates the paper's evaluation artefacts on the
+// simulated disk array: Figures 8–11 and Tables IV–V, plus the scheme
+// ablation. With no artefact flag it runs the full evaluation.
+//
+// Usage:
+//
+//	fbfsim [-fig 8|9|10|11] [-table 4|5] [-ablation]
+//	       [-codes star,triplestar,tip,hdd1] [-p 7,11,13]
+//	       [-policies fifo,lru,lfu,arc,fbf] [-sizes 8,16,...,2048]
+//	       [-groups N] [-workers N] [-stripes N] [-seed N]
+//	       [-strategy typical|looped|greedy] [-dist uniform|fixed|geometric]
+//	       [-csv]
+package main
+
+import (
+	"fbf"
+	"fbf/internal/cli"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fbfsim: ")
+
+	figFlag := flag.Int("fig", 0, "figure to regenerate (8, 9, 10 or 11)")
+	tableFlag := flag.Int("table", 0, "table to regenerate (4 or 5)")
+	ablation := flag.Bool("ablation", false, "run the chain-selection scheme ablation")
+	online := flag.Bool("online", false, "run the online-recovery (foreground load) experiment")
+	modes := flag.Bool("modes", false, "run the SOR-vs-DOR reconstruction-mode ablation")
+	codesFlag := flag.String("codes", "", "comma-separated code families (default: paper's four)")
+	primesFlag := flag.String("p", "", "comma-separated primes (default: per-figure paper values)")
+	policiesFlag := flag.String("policies", "", "comma-separated cache policies (default: paper's five)")
+	sizesFlag := flag.String("sizes", "", "comma-separated cache sizes in MB (default: paper's sweep)")
+	groups := flag.Int("groups", 0, "error groups per run (default 256)")
+	workers := flag.Int("workers", 0, "parallel recovery processes (default 128)")
+	stripes := flag.Int("stripes", 0, "stripes on the array (default 16384)")
+	seed := flag.Int64("seed", 1, "trace RNG seed")
+	strategyFlag := flag.String("strategy", "looped", "chain-selection strategy (typical, looped, greedy)")
+	distFlag := flag.String("dist", "uniform", "error-size distribution (uniform, fixed, geometric)")
+	csv := flag.Bool("csv", false, "emit figures as CSV instead of text tables")
+	flag.Parse()
+
+	params := fbf.DefaultExperimentParams()
+	params.Seed = *seed
+	if *groups > 0 {
+		params.Groups = *groups
+	}
+	if *workers > 0 {
+		params.Workers = *workers
+	}
+	if *stripes > 0 {
+		params.Stripes = *stripes
+	}
+	if *codesFlag != "" {
+		params.Codes = cli.SplitList(*codesFlag)
+	}
+	if *policiesFlag != "" {
+		params.Policies = cli.SplitList(*policiesFlag)
+	}
+	if *primesFlag != "" {
+		primes, err := cli.ParseInts(*primesFlag)
+		if err != nil {
+			log.Fatalf("bad -p: %v", err)
+		}
+		params.Primes = primes
+	}
+	if *sizesFlag != "" {
+		sizes, err := cli.ParseInts(*sizesFlag)
+		if err != nil {
+			log.Fatalf("bad -sizes: %v", err)
+		}
+		params.CacheSizesMB = sizes
+	}
+	strategy, err := fbf.ParseStrategy(*strategyFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	params.Strategy = strategy
+	switch *distFlag {
+	case "uniform":
+		params.Dist = fbf.SizeUniform
+	case "fixed":
+		params.Dist = fbf.SizeFixed
+	case "geometric":
+		params.Dist = fbf.SizeGeometric
+	default:
+		log.Fatalf("bad -dist %q", *distFlag)
+	}
+
+	runAll := *figFlag == 0 && *tableFlag == 0 && !*ablation && !*online && !*modes
+	out := os.Stdout
+
+	runFig := func(n int) {
+		var fig *fbf.Figure
+		var err error
+		p := params
+		switch n {
+		case 8:
+			fig, err = fbf.Fig8(p)
+		case 9:
+			if *primesFlag == "" {
+				p.Primes = []int{5, 7, 11, 13}
+			}
+			fig, err = fbf.Fig9(p)
+		case 10:
+			fig, err = fbf.Fig10(p)
+		case 11:
+			if *primesFlag == "" {
+				p.Primes = []int{5, 7, 11, 13}
+			}
+			fig, err = fbf.Fig11(p)
+		default:
+			log.Fatalf("unknown figure %d (have 8, 9, 10, 11)", n)
+		}
+		if err != nil {
+			log.Fatalf("figure %d: %v", n, err)
+		}
+		if *csv {
+			if err := fbf.RenderFigureCSV(out, fig); err != nil {
+				log.Fatal(err)
+			}
+			return
+		}
+		if err := fbf.RenderFigure(out, fig, p.Policies); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintln(out)
+	}
+
+	runTable := func(n int) {
+		switch n {
+		case 4:
+			p := params
+			if *primesFlag == "" {
+				p.Primes = []int{5, 7, 11, 13}
+			}
+			rows, err := fbf.Table4(p)
+			if err != nil {
+				log.Fatalf("table 4: %v", err)
+			}
+			if err := fbf.RenderTable4(out, rows, p.Codes); err != nil {
+				log.Fatal(err)
+			}
+		case 5:
+			points, err := fbf.Sweep(params)
+			if err != nil {
+				log.Fatalf("table 5 sweep: %v", err)
+			}
+			if err := fbf.RenderTable5(out, fbf.Table5(points)); err != nil {
+				log.Fatal(err)
+			}
+		default:
+			log.Fatalf("unknown table %d (have 4, 5)", n)
+		}
+		fmt.Fprintln(out)
+	}
+
+	runAblation := func() {
+		p := params
+		rows, err := fbf.SchemeAblation(p)
+		if err != nil {
+			log.Fatalf("ablation: %v", err)
+		}
+		if err := fbf.RenderSchemeAblation(out, rows); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintln(out)
+	}
+
+	runOnline := func() {
+		p := params
+		if *codesFlag == "" {
+			p.Codes = []string{"tip"}
+		}
+		if *primesFlag == "" {
+			p.Primes = []int{13}
+		}
+		rows, err := fbf.OnlineRecovery(p, fbf.AppWorkload{Seed: p.Seed})
+		if err != nil {
+			log.Fatalf("online: %v", err)
+		}
+		if err := fbf.RenderOnline(out, rows); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintln(out)
+	}
+
+	runModes := func() {
+		p := params
+		if *codesFlag == "" {
+			p.Codes = []string{"tip"}
+		}
+		if *primesFlag == "" {
+			p.Primes = []int{13}
+		}
+		rows, err := fbf.ModeComparison(p)
+		if err != nil {
+			log.Fatalf("modes: %v", err)
+		}
+		if err := fbf.RenderModes(out, rows); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintln(out)
+	}
+
+	switch {
+	case runAll:
+		for _, n := range []int{8, 9, 10, 11} {
+			runFig(n)
+		}
+		runTable(4)
+		runTable(5)
+		runAblation()
+		runOnline()
+		runModes()
+	default:
+		if *figFlag != 0 {
+			runFig(*figFlag)
+		}
+		if *tableFlag != 0 {
+			runTable(*tableFlag)
+		}
+		if *ablation {
+			runAblation()
+		}
+		if *online {
+			runOnline()
+		}
+		if *modes {
+			runModes()
+		}
+	}
+}

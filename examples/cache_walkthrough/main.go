@@ -1,0 +1,71 @@
+// Cache walkthrough: drives the FBF policy through the exact request
+// sequences of the paper's Figures 5–7, printing the three priority
+// queues after each step — warming up, demotion on hits, and the
+// Queue1-first replacement that protects shared chunks.
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"fbf"
+)
+
+func main() {
+	// The priority dictionary of the paper's running example (Figure 3 /
+	// Table III shape): one chunk shared by three chains, two by two
+	// chains, the rest referenced once.
+	pri := map[fbf.ChunkID]int{
+		id(1, 1): 3,
+		id(4, 1): 2, id(4, 4): 2,
+	}
+	for _, c := range []fbf.Coord{{Row: 2, Col: 2}, {Row: 5, Col: 5}, {Row: 0, Col: 6}, {Row: 1, Col: 6}, {Row: 1, Col: 7}} {
+		pri[fbf.ChunkID{Cell: c}] = 1
+	}
+
+	// Figure 5: warming up. Requests arrive in the paper's order.
+	fmt.Println("Figure 5 — cache warming up (capacity 5):")
+	f := fbf.NewFBF(5)
+	f.SetPriorities(pri)
+	for _, c := range []fbf.ChunkID{id(1, 1), id(2, 2), id(4, 4), id(5, 5), id(0, 6)} {
+		f.Request(c)
+		show(f, "after miss on "+c.Cell.String())
+	}
+
+	// Figure 6: demotion. Two more hits on C(1,1) walk it from Queue3
+	// down to Queue1.
+	fmt.Println("\nFigure 6 — demotion on hits:")
+	for i := 0; i < 2; i++ {
+		hit := f.Request(id(1, 1))
+		show(f, fmt.Sprintf("after hit %d on C(1,1) (hit=%v)", i+1, hit))
+	}
+
+	// Figure 7: replacement. The cache is full; new priority-1 chunks
+	// evict Queue1's LRU and never touch the higher queues, so C(4,4)
+	// (priority 2) survives even though it is old.
+	fmt.Println("\nFigure 7 — replacement policy (Queue1 drains first):")
+	for _, c := range []fbf.ChunkID{id(1, 6), id(1, 7)} {
+		f.Request(c)
+		show(f, "after miss on "+c.Cell.String())
+	}
+	if f.Contains(id(4, 4)) {
+		fmt.Println("\nC(4,4) is still cached: its two-chain priority protected it,")
+		fmt.Println("exactly the behaviour Figure 7 illustrates.")
+	}
+}
+
+func id(r, c int) fbf.ChunkID {
+	return fbf.ChunkID{Cell: fbf.Coord{Row: r, Col: c}}
+}
+
+func show(f *fbf.FBFCache, when string) {
+	var parts []string
+	for q := 3; q >= 1; q-- {
+		var names []string
+		for _, id := range f.QueueContents(q) {
+			names = append(names, id.Cell.String())
+		}
+		parts = append(parts, fmt.Sprintf("Q%d[%s]", q, strings.Join(names, " ")))
+	}
+	fmt.Printf("  %-32s %s\n", when+":", strings.Join(parts, "  "))
+}

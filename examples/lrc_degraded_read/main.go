@@ -1,0 +1,61 @@
+// LRC degraded reads: exercises the Reed-Solomon-based Local
+// Reconstruction Code (the paper's footnote 3) — encode, verify, repair
+// via local versus global parity chains, and replay a partial-stripe
+// recovery through the engine with byte verification. It also shows the
+// boundary result: LRC's row-local chains share no chunks under
+// single-disk partial errors, so FBF behaves like LRU there.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fbf"
+)
+
+func main() {
+	// Azure's production configuration: 12 data + 2 local + 2 global.
+	code, err := fbf.NewLRC(12, 2, 2, 12)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s on %d disks, %d rows per stripe\n\n", code, code.Disks(), code.Rows())
+
+	// Degraded read cost: repairing one lost data chunk through its
+	// local chain reads k/l chunks; through a global chain, k chunks.
+	e := fbf.PartialStripeError{Disk: 3, Row: 0, Size: 1}
+	local, err := fbf.GenerateScheme(code, e, fbf.StrategyTypical)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("degraded read of one chunk via local chain: %d reads\n", local.TotalRequests())
+	looped, err := fbf.GenerateScheme(code, fbf.PartialStripeError{Disk: 3, Row: 0, Size: 3}, fbf.StrategyLooped)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, sel := range looped.Selected {
+		fmt.Printf("  chunk %v repaired via %-13s chain: %d reads\n", sel.Lost, sel.Chain.Kind, len(sel.Fetch))
+	}
+	fmt.Printf("shared chunks across those chains: %d (row codewords are independent)\n\n", looped.SharedChunks())
+
+	// Byte-verified reconstruction through the simulation engine.
+	errors, err := fbf.GenerateTrace(code, fbf.TraceConfig{Groups: 40, Stripes: 2048, Seed: 11, Disk: -1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("policy  hit-ratio  disk-reads  verified-chunks")
+	for _, policy := range []string{"lru", "fbf"} {
+		res, err := fbf.Run(fbf.SimConfig{
+			Code: code, Policy: policy, Strategy: fbf.StrategyLooped,
+			Workers: 16, CacheChunks: 128, Stripes: 2048,
+			ChunkSize: 4096, VerifyData: true,
+		}, errors)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6s  %9.4f  %10d  %d\n", policy, res.HitRatio(), res.DiskReads, res.VerifiedChunks)
+	}
+	fmt.Println("\nFBF applies mechanically to LRC's local/global chains, but single-disk")
+	fmt.Println("partial errors touch one row per chunk, so no chunk is shared and the")
+	fmt.Println("hit ratios match — the boundary result recorded in EXPERIMENTS.md.")
+}

@@ -1,0 +1,56 @@
+// Quickstart: simulate partial stripe recovery on a TIP-coded 3DFT
+// array and compare the FBF cache against LRU — the paper's headline
+// experiment in ~50 lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fbf"
+)
+
+func main() {
+	// A TIP-code array with p=7: 8 disks, 6 chunk rows per stripe.
+	code, err := fbf.NewCode("tip", 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("array: %s, %d disks, %d rows per stripe\n", code, code.Disks(), code.Rows())
+
+	// A synthetic workload of 200 partial stripe errors: contiguous runs
+	// of 1..p-1 bad chunks, uniformly sized, on random disks.
+	errors, err := fbf.GenerateTrace(code, fbf.TraceConfig{
+		Groups:  200,
+		Stripes: 8192,
+		Seed:    42,
+		Disk:    -1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %d error groups (first: %v)\n\n", len(errors), errors[0])
+
+	// Reconstruct with each cache policy. 16 MB of cache over 128
+	// workers is the constrained regime the paper targets: each worker
+	// gets 4 chunks of cache, far less than a recovery working set.
+	fmt.Println("policy  hit-ratio  disk-reads  avg-response  reconstruction")
+	for _, policy := range []string{"fifo", "lru", "lfu", "arc", "fbf"} {
+		res, err := fbf.Run(fbf.SimConfig{
+			Code:        code,
+			Policy:      policy,
+			Strategy:    fbf.StrategyLooped,
+			Workers:     128,
+			CacheChunks: 16 * 1024 / 32, // 16 MB of 32 KB chunks
+			Stripes:     8192,
+		}, errors)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6s  %9.4f  %10d  %12v  %v\n",
+			policy, res.HitRatio(), res.DiskReads, res.AvgResponse(), res.Makespan)
+	}
+
+	fmt.Println("\nFBF holds chunks shared by several parity chains, so with the")
+	fmt.Println("same request stream it hits more, reads less, and finishes sooner.")
+}

@@ -1,0 +1,287 @@
+// Package fbf is a simulation library reproducing "Favorable Block
+// First: A Comprehensive Cache Scheme to Accelerate Partial Stripe
+// Recovery of Triple Disk Failure Tolerant Arrays" (Li, Ji, Wu, Li,
+// Guo — ICPP 2017).
+//
+// The library has four layers, all re-exported here as the public API:
+//
+//   - Erasure codes (STAR, Triple-Star, TIP, HDD1): stripe layouts with
+//     horizontal/diagonal/anti-diagonal parity chains, generic GF(2)
+//     encode/decode, and exhaustively verified triple-fault tolerance —
+//     plus an Azure-style LRC over GF(256) (the paper's footnote 3).
+//   - Recovery schemes: given a partial stripe error (a contiguous run
+//     of bad chunks on one disk), select a parity chain per lost chunk —
+//     either the conventional horizontal-only scheme or the paper's
+//     direction-looping scheme that maximizes chunk sharing — and derive
+//     the FBF priority dictionary from chain-sharing counts.
+//   - Buffer caches: FIFO, LRU, LFU, ARC, LRU-2, 2Q, LRFU, Belady's
+//     OPT, and the paper's FBF three-queue priority policy.
+//   - Simulation: a deterministic discrete-event disk-array model and
+//     reconstruction engines (SOR with partitioned caches, DOR with one
+//     shared cache) measuring hit ratio, disk reads, response time and
+//     reconstruction time — with online recovery under foreground load,
+//     staggered error detection and byte-level verification — plus an
+//     experiment harness regenerating the paper's Figures 8–11 and
+//     Tables IV–V.
+//
+// Quick start:
+//
+//	code, _ := fbf.NewCode("tip", 7)
+//	errs, _ := fbf.GenerateTrace(code, fbf.TraceConfig{Groups: 100, Stripes: 4096, Seed: 1, Disk: -1})
+//	res, _ := fbf.Run(fbf.SimConfig{Code: code, Policy: "fbf", Strategy: fbf.StrategyLooped,
+//		Workers: 128, CacheChunks: 2048, Stripes: 4096}, errs)
+//	fmt.Printf("hit ratio %.3f, %d disk reads, %v reconstruction\n",
+//		res.HitRatio(), res.DiskReads, res.Makespan)
+package fbf
+
+import (
+	"fbf/internal/cache"
+	"fbf/internal/codes"
+	"fbf/internal/core"
+	"fbf/internal/disk"
+	"fbf/internal/experiments"
+	"fbf/internal/grid"
+	"fbf/internal/lrc"
+	"fbf/internal/rebuild"
+	"fbf/internal/sim"
+	"fbf/internal/trace"
+)
+
+// Geometry types.
+type (
+	// Coord identifies a chunk within a stripe: C(row, col).
+	Coord = grid.Coord
+	// Chain is one parity chain (cells whose XOR is zero).
+	Chain = grid.Chain
+	// ChainID identifies a chain by direction and index.
+	ChainID = grid.ChainID
+	// ChainKind is a chain direction.
+	ChainKind = grid.ChainKind
+	// Layout is a code's stripe geometry.
+	Layout = grid.Layout
+)
+
+// Chain directions.
+const (
+	Horizontal   = grid.Horizontal
+	Diagonal     = grid.Diagonal
+	AntiDiagonal = grid.AntiDiagonal
+)
+
+// Erasure codes.
+type (
+	// Code is an erasure-code instance (family bound to a prime p).
+	Code = codes.Code
+	// Stripe holds one stripe's chunk contents.
+	Stripe = codes.Stripe
+	// LRC is the Azure-style Local Reconstruction Code over GF(256),
+	// the Reed-Solomon-based counterpart of the paper's footnote 3.
+	LRC = lrc.Code
+	// Geometry is the code view consumed by scheme generation and the
+	// simulation engine; both Code and LRC implement it.
+	Geometry = core.Geometry
+)
+
+// Code constructors and registry.
+var (
+	// NewCode constructs a code by family name ("star", "triplestar",
+	// "tip", "hdd1").
+	NewCode = codes.New
+	// MustNewCode is NewCode that panics on error.
+	MustNewCode = codes.MustNew
+	// CodeNames lists the registered code families.
+	CodeNames = codes.Names
+	// NewSTAR constructs the STAR code (p+3 disks).
+	NewSTAR = codes.NewSTAR
+	// NewTripleStar constructs the Triple-Star stand-in (p+2 disks).
+	NewTripleStar = codes.NewTripleStar
+	// NewTIP constructs the TIP-code stand-in (p+1 disks).
+	NewTIP = codes.NewTIP
+	// NewHDD1 constructs the HDD1 stand-in (p+1 disks).
+	NewHDD1 = codes.NewHDD1
+	// NewLRC constructs LRC(k, l, g) with the given stripe height.
+	NewLRC = lrc.New
+	// ResolveGeometry maps an experiment code name ("star", ..., "lrc")
+	// to a geometry.
+	ResolveGeometry = experiments.ResolveGeometry
+)
+
+// Caching.
+type (
+	// CachePolicy is a chunk-cache replacement policy.
+	CachePolicy = cache.Policy
+	// ChunkID identifies a chunk on the array (stripe + cell).
+	ChunkID = cache.ChunkID
+	// CacheStats counts cache events.
+	CacheStats = cache.Stats
+	// FBFCache is the paper's three-queue priority policy.
+	FBFCache = core.FBF
+)
+
+// Cache constructors and registry.
+var (
+	// NewPolicy constructs a registered policy ("fbf", "fifo", "lru",
+	// "lfu", "arc", "lru2", "2q", "opt") with a capacity in chunks.
+	NewPolicy = cache.New
+	// MustNewPolicy is NewPolicy that panics on error.
+	MustNewPolicy = cache.MustNew
+	// PolicyNames lists the registered policies.
+	PolicyNames = cache.Names
+	// NewFBF constructs the FBF policy directly.
+	NewFBF = core.NewFBF
+)
+
+// Recovery schemes.
+type (
+	// PartialStripeError is a contiguous run of bad chunks on one disk.
+	PartialStripeError = core.PartialStripeError
+	// Scheme is a complete recovery plan for one partial stripe error.
+	Scheme = core.Scheme
+	// SelectedChain records the repair chain chosen for one lost chunk.
+	SelectedChain = core.SelectedChain
+	// Strategy selects the chain-selection heuristic.
+	Strategy = core.Strategy
+)
+
+// Chain-selection strategies.
+const (
+	// StrategyTypical is conventional horizontal-only recovery.
+	StrategyTypical = core.StrategyTypical
+	// StrategyLooped is the paper's direction-looping FBF scheme.
+	StrategyLooped = core.StrategyLooped
+	// StrategyGreedy is the marginal-I/O-minimizing ablation.
+	StrategyGreedy = core.StrategyGreedy
+)
+
+// Scheme functions.
+var (
+	// GenerateScheme builds the recovery scheme for one error.
+	GenerateScheme = core.GenerateScheme
+	// ParseStrategy converts a strategy name.
+	ParseStrategy = core.ParseStrategy
+)
+
+// Workload generation.
+type (
+	// TraceConfig parameterizes synthetic error-trace generation.
+	TraceConfig = trace.Config
+	// SizeDist selects the error-size distribution.
+	SizeDist = trace.SizeDist
+)
+
+// Error-size distributions.
+const (
+	SizeUniform   = trace.SizeUniform
+	SizeFixed     = trace.SizeFixed
+	SizeGeometric = trace.SizeGeometric
+)
+
+// Trace functions.
+var (
+	// GenerateTrace produces partial stripe error groups.
+	GenerateTrace = trace.Generate
+	// WriteTraceCSV serializes a trace.
+	WriteTraceCSV = trace.WriteCSV
+	// ReadTraceCSV parses a serialized trace.
+	ReadTraceCSV = trace.ReadCSV
+)
+
+// Simulation.
+type (
+	// SimConfig parameterizes one reconstruction run.
+	SimConfig = rebuild.Config
+	// SimResult aggregates one run's metrics.
+	SimResult = rebuild.Result
+	// AppWorkload parameterizes a foreground read stream for online
+	// recovery.
+	AppWorkload = rebuild.AppWorkload
+	// Mode selects SOR or DOR parallelization.
+	Mode = rebuild.Mode
+	// DiskScheduler selects a disk queue discipline.
+	DiskScheduler = disk.Scheduler
+	// DiskModel is a disk service-time model.
+	DiskModel = disk.Model
+	// SimTime is simulated time in nanoseconds (SimConfig's timing
+	// fields and SimResult's latencies use it).
+	SimTime = sim.Time
+	// FixedLatency is the paper's constant-latency disk model.
+	FixedLatency = disk.FixedLatency
+	// Positional is the seek/rotation/transfer disk model.
+	Positional = disk.Positional
+)
+
+// Engine modes and disk schedulers.
+const (
+	ModeSOR   = rebuild.ModeSOR
+	ModeDOR   = rebuild.ModeDOR
+	SchedFIFO = disk.SchedFIFO
+	SchedSSTF = disk.SchedSSTF
+	SchedLOOK = disk.SchedLOOK
+)
+
+// Simulated-time units.
+const (
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// Simulation functions.
+var (
+	// Run executes a reconstruction and returns the metrics.
+	Run = rebuild.Run
+	// PaperFixedLatency is the paper's 10 ms disk model.
+	PaperFixedLatency = disk.PaperFixedLatency
+	// NewPositional builds a positional disk model.
+	NewPositional = disk.NewPositional
+)
+
+// Experiments.
+type (
+	// ExperimentParams configures a figure/table sweep.
+	ExperimentParams = experiments.Params
+	// ExperimentPoint is one sweep measurement.
+	ExperimentPoint = experiments.Point
+	// Figure is a reproduced paper figure.
+	Figure = experiments.Figure
+)
+
+// Experiment functions (one per paper artefact, plus renderers).
+var (
+	// DefaultExperimentParams is the paper's configuration.
+	DefaultExperimentParams = experiments.DefaultParams
+	// Sweep runs the full sweep cross product.
+	Sweep = experiments.Sweep
+	// Fig8 reproduces Figure 8 (hit ratio).
+	Fig8 = experiments.Fig8
+	// Fig9 reproduces Figure 9 (disk reads).
+	Fig9 = experiments.Fig9
+	// Fig10 reproduces Figure 10 (response time).
+	Fig10 = experiments.Fig10
+	// Fig11 reproduces Figure 11 (reconstruction time).
+	Fig11 = experiments.Fig11
+	// Table4 reproduces Table IV (FBF overhead).
+	Table4 = experiments.Table4
+	// Table5 reproduces Table V (maximum improvements).
+	Table5 = experiments.Table5
+	// SchemeAblation quantifies chain-selection savings.
+	SchemeAblation = experiments.SchemeAblation
+	// OnlineRecovery runs the foreground-load experiment.
+	OnlineRecovery = experiments.OnlineRecovery
+	// RenderOnline prints the online-recovery table.
+	RenderOnline = experiments.RenderOnline
+	// ModeComparison runs the SOR-vs-DOR ablation.
+	ModeComparison = experiments.ModeComparison
+	// RenderModes prints the SOR-vs-DOR table.
+	RenderModes = experiments.RenderModes
+	// RenderFigure prints a figure as aligned text tables.
+	RenderFigure = experiments.RenderFigure
+	// RenderFigureCSV prints a figure as CSV.
+	RenderFigureCSV = experiments.RenderFigureCSV
+	// RenderTable4 prints Table IV.
+	RenderTable4 = experiments.RenderTable4
+	// RenderTable5 prints Table V.
+	RenderTable5 = experiments.RenderTable5
+	// RenderSchemeAblation prints the scheme ablation table.
+	RenderSchemeAblation = experiments.RenderSchemeAblation
+)

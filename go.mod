@@ -1,0 +1,3 @@
+module fbf
+
+go 1.24

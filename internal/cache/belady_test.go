@@ -1,0 +1,89 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bruteForceOptimalHits computes the maximum achievable hit count for a
+// trace and capacity by exhaustive search over eviction/bypass choices.
+// Exponential; only for tiny inputs.
+func bruteForceOptimalHits(trace []ChunkID, capacity int) int {
+	var best func(resident map[ChunkID]bool, pos int) int
+	memo := map[string]int{}
+	keyOf := func(resident map[ChunkID]bool, pos int) string {
+		key := make([]byte, 0, 16)
+		for i := 0; i < 32; i++ {
+			if resident[id(i)] {
+				key = append(key, byte(i))
+			}
+		}
+		return string(key) + ":" + string(rune(pos))
+	}
+	best = func(resident map[ChunkID]bool, pos int) int {
+		if pos >= len(trace) {
+			return 0
+		}
+		k := keyOf(resident, pos)
+		if v, ok := memo[k]; ok {
+			return v
+		}
+		x := trace[pos]
+		var result int
+		if resident[x] {
+			result = 1 + best(resident, pos+1)
+		} else if len(resident) < capacity {
+			next := cloneSet(resident)
+			next[x] = true
+			with := best(next, pos+1)
+			without := best(resident, pos+1) // bypass
+			result = max(with, without)
+		} else {
+			// Try every possible victim, plus bypassing entirely.
+			result = best(resident, pos+1)
+			for victim := range resident {
+				next := cloneSet(resident)
+				delete(next, victim)
+				next[x] = true
+				if v := best(next, pos+1); v > result {
+					result = v
+				}
+			}
+		}
+		memo[k] = result
+		return result
+	}
+	return best(map[ChunkID]bool{}, 0)
+}
+
+func cloneSet(s map[ChunkID]bool) map[ChunkID]bool {
+	out := make(map[ChunkID]bool, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+func TestBeladyMatchesBruteForceOptimal(t *testing.T) {
+	// Belady's MIN is provably optimal; verify our implementation
+	// achieves the brute-force optimum on random tiny traces.
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 30; trial++ {
+		n := 8 + rng.Intn(6)
+		capacity := 1 + rng.Intn(3)
+		trace := make([]ChunkID, n)
+		for i := range trace {
+			trace[i] = id(rng.Intn(5))
+		}
+		opt := NewBelady(capacity)
+		opt.SetFuture(trace)
+		for _, x := range trace {
+			opt.Request(x)
+		}
+		got := int(opt.Stats().Hits)
+		want := bruteForceOptimalHits(trace, capacity)
+		if got != want {
+			t.Fatalf("trial %d (cap %d, trace %v): Belady hits %d, optimal %d", trial, capacity, trace, got, want)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+// Package chunk provides chunk buffers and the XOR kernels used during
+// stripe encoding and reconstruction. A chunk is the unit of recovery in
+// the paper (32 KB by default, matching the evaluation's stripe-unit
+// size).
+package chunk
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sync"
+)
+
+// DefaultSize is the chunk size used throughout the paper's evaluation.
+const DefaultSize = 32 * 1024
+
+// Chunk is a byte buffer holding one chunk's contents.
+type Chunk []byte
+
+// New returns a zeroed chunk of the given size.
+func New(size int) Chunk {
+	if size <= 0 {
+		panic(fmt.Sprintf("chunk: non-positive size %d", size))
+	}
+	return make(Chunk, size)
+}
+
+// XORInto XORs src into dst in place. The two chunks must have equal
+// length. The loop runs over 64-bit words with a byte tail, which is the
+// whole of the "XOR calculation" cost modeled during reconstruction.
+func XORInto(dst, src Chunk) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("chunk: length mismatch %d != %d", len(dst), len(src)))
+	}
+	n := len(dst)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		d := binary.LittleEndian.Uint64(dst[i:])
+		s := binary.LittleEndian.Uint64(src[i:])
+		binary.LittleEndian.PutUint64(dst[i:], d^s)
+	}
+	for ; i < n; i++ {
+		dst[i] ^= src[i]
+	}
+}
+
+// XOR returns the XOR of all chunks into a fresh buffer. All chunks must
+// share one length; XOR of zero chunks is invalid.
+func XOR(chunks ...Chunk) Chunk {
+	if len(chunks) == 0 {
+		panic("chunk: XOR of no chunks")
+	}
+	out := make(Chunk, len(chunks[0]))
+	copy(out, chunks[0])
+	for _, c := range chunks[1:] {
+		XORInto(out, c)
+	}
+	return out
+}
+
+// IsZero reports whether every byte of the chunk is zero.
+func (c Chunk) IsZero() bool {
+	for _, b := range c {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether two chunks have identical contents.
+func (c Chunk) Equal(o Chunk) bool {
+	if len(c) != len(o) {
+		return false
+	}
+	for i := range c {
+		if c[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Checksum returns a CRC32 (Castagnoli) of the chunk, used by tests and
+// the simulator's integrity checks.
+func (c Chunk) Checksum() uint32 {
+	return crc32.Checksum(c, castagnoli)
+}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Pool recycles chunk buffers of one fixed size to keep reconstruction
+// allocation-free in steady state.
+type Pool struct {
+	size int
+	pool sync.Pool
+}
+
+// NewPool returns a pool of chunks with the given size.
+func NewPool(size int) *Pool {
+	if size <= 0 {
+		panic(fmt.Sprintf("chunk: non-positive pool size %d", size))
+	}
+	p := &Pool{size: size}
+	p.pool.New = func() any { return New(size) }
+	return p
+}
+
+// Size returns the chunk size served by the pool.
+func (p *Pool) Size() int { return p.size }
+
+// Get returns a zeroed chunk from the pool.
+func (p *Pool) Get() Chunk {
+	c := p.pool.Get().(Chunk)
+	clear(c)
+	return c
+}
+
+// Put returns a chunk to the pool. Chunks of the wrong size are dropped.
+func (p *Pool) Put(c Chunk) {
+	if len(c) == p.size {
+		p.pool.Put(c) //nolint:staticcheck // Chunk is a slice; boxing is fine here.
+	}
+}

@@ -1,0 +1,154 @@
+package chunk
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randChunk(rng *rand.Rand, n int) Chunk {
+	c := New(n)
+	rng.Read(c)
+	return c
+}
+
+func TestNewZeroed(t *testing.T) {
+	c := New(100)
+	if len(c) != 100 || !c.IsZero() {
+		t.Error("New chunk not zeroed")
+	}
+}
+
+func TestNewPanicsOnBadSize(t *testing.T) {
+	for _, n := range []int{0, -5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) should panic", n)
+				}
+			}()
+			New(n)
+		}()
+	}
+}
+
+func TestXORIntoSelfInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	// Odd length exercises the byte tail after the word loop.
+	a := randChunk(rng, 1003)
+	b := randChunk(rng, 1003)
+	orig := make(Chunk, len(a))
+	copy(orig, a)
+	XORInto(a, b)
+	if a.Equal(orig) {
+		t.Error("XOR changed nothing")
+	}
+	XORInto(a, b)
+	if !a.Equal(orig) {
+		t.Error("double XOR did not restore original")
+	}
+}
+
+func TestXORIntoLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic on length mismatch")
+		}
+	}()
+	XORInto(New(8), New(9))
+}
+
+func TestXORVariadic(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a, b, c := randChunk(rng, 64), randChunk(rng, 64), randChunk(rng, 64)
+	got := XOR(a, b, c)
+	want := New(64)
+	for i := range want {
+		want[i] = a[i] ^ b[i] ^ c[i]
+	}
+	if !got.Equal(want) {
+		t.Error("XOR(a,b,c) wrong")
+	}
+	// Inputs must not be mutated.
+	if a.IsZero() && b.IsZero() {
+		t.Error("inputs look mutated")
+	}
+	if !XOR(a).Equal(a) {
+		t.Error("XOR(a) != a")
+	}
+}
+
+func TestXOREmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic for XOR()")
+		}
+	}()
+	XOR()
+}
+
+func TestXORProperties(t *testing.T) {
+	// Commutativity and associativity, checked on random contents.
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(257)
+		a, b, c := randChunk(rng, n), randChunk(rng, n), randChunk(rng, n)
+		ab := XOR(a, b)
+		ba := XOR(b, a)
+		abc1 := XOR(XOR(a, b), c)
+		abc2 := XOR(a, XOR(b, c))
+		return ab.Equal(ba) && abc1.Equal(abc2) && XOR(a, a).IsZero()
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := Chunk{1, 2, 3}
+	if !a.Equal(Chunk{1, 2, 3}) || a.Equal(Chunk{1, 2}) || a.Equal(Chunk{1, 2, 4}) {
+		t.Error("Equal wrong")
+	}
+}
+
+func TestChecksumDistinguishes(t *testing.T) {
+	a := Chunk{1, 2, 3, 4}
+	b := Chunk{1, 2, 3, 5}
+	if a.Checksum() == b.Checksum() {
+		t.Error("checksum collision on near-identical chunks (CRC32 must differ)")
+	}
+	if a.Checksum() != (Chunk{1, 2, 3, 4}).Checksum() {
+		t.Error("checksum not deterministic")
+	}
+}
+
+func TestPool(t *testing.T) {
+	p := NewPool(64)
+	if p.Size() != 64 {
+		t.Errorf("Size = %d", p.Size())
+	}
+	c := p.Get()
+	if len(c) != 64 || !c.IsZero() {
+		t.Error("Get returned wrong chunk")
+	}
+	c[0] = 0xFF
+	p.Put(c)
+	c2 := p.Get()
+	if !c2.IsZero() {
+		t.Error("recycled chunk not zeroed")
+	}
+	p.Put(New(10)) // wrong size must be dropped, not corrupt the pool
+	c3 := p.Get()
+	if len(c3) != 64 {
+		t.Error("pool served wrong-size chunk")
+	}
+}
+
+func TestPoolPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic for NewPool(0)")
+		}
+	}()
+	NewPool(0)
+}

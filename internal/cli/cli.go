@@ -1,0 +1,35 @@
+// Package cli holds small flag-parsing helpers shared by the command
+// binaries.
+package cli
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// SplitList splits a comma-separated list, trimming blanks and dropping
+// empty elements.
+func SplitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// ParseInts parses a comma-separated list of integers.
+func ParseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range SplitList(s) {
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("cli: %q is not an integer: %w", part, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,41 @@
+package cli
+
+import "testing"
+
+func TestSplitList(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"a,b,c", []string{"a", "b", "c"}},
+		{" a , b ", []string{"a", "b"}},
+		{"", nil},
+		{",,", nil},
+		{"one", []string{"one"}},
+	}
+	for _, c := range cases {
+		got := SplitList(c.in)
+		if len(got) != len(c.want) {
+			t.Errorf("SplitList(%q) = %v, want %v", c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("SplitList(%q)[%d] = %q, want %q", c.in, i, got[i], c.want[i])
+			}
+		}
+	}
+}
+
+func TestParseInts(t *testing.T) {
+	got, err := ParseInts("5, 7,11")
+	if err != nil || len(got) != 3 || got[0] != 5 || got[1] != 7 || got[2] != 11 {
+		t.Errorf("ParseInts = %v, %v", got, err)
+	}
+	if _, err := ParseInts("1,x"); err == nil {
+		t.Error("non-integer accepted")
+	}
+	if got, err := ParseInts(""); err != nil || len(got) != 0 {
+		t.Errorf("empty = %v, %v", got, err)
+	}
+}

@@ -1,0 +1,321 @@
+// Package codes implements the XOR-based triple-disk-failure-tolerant
+// (3DFT) erasure-code layouts evaluated in the FBF paper: STAR (p+3
+// disks), Triple-Star (p+2 disks), TIP and HDD1 (p+1 disks).
+//
+// Every code is described purely by its stripe geometry — a grid of
+// chunks plus a set of parity chains (cell sets whose XOR is zero). The
+// encoder and decoder are derived generically from the chain equations
+// with GF(2) Gaussian elimination, so a layout is the single source of
+// truth for both data placement and recoverability.
+package codes
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"fbf/internal/chunk"
+	"fbf/internal/gf2"
+	"fbf/internal/grid"
+)
+
+// Code is one concrete erasure-code instance (a code family bound to a
+// prime p). Code values are immutable and safe for concurrent use.
+type Code struct {
+	name   string
+	p      int
+	layout *grid.Layout
+	// encPlan[i] lists, for parity cell ParityCells()[i], the data cells
+	// whose XOR produces it.
+	encParity []grid.Coord
+	encPlan   [][]grid.Coord
+	sys       *gf2.System
+}
+
+// build derives the encoder plan from the layout's chain equations and
+// wraps everything into a Code. It fails if the chains do not uniquely
+// determine every parity cell from the data cells.
+func build(name string, p int, layout *grid.Layout) (*Code, error) {
+	c := &Code{name: name, p: p, layout: layout}
+	c.sys = gf2.NewSystem(layout.Cells())
+	for _, ch := range layout.Chains() {
+		eq := make([]int, len(ch.Cells))
+		for i, cell := range ch.Cells {
+			eq[i] = c.CellIndex(cell)
+		}
+		c.sys.AddEquation(eq)
+	}
+	c.encParity = layout.ParityCells()
+	unknowns := make([]int, len(c.encParity))
+	for i, cell := range c.encParity {
+		unknowns[i] = c.CellIndex(cell)
+	}
+	sol, unsolved := c.sys.Solve(unknowns)
+	if len(unsolved) > 0 {
+		return nil, fmt.Errorf("codes: %s(p=%d): %d parity cells undetermined by chain equations", name, p, len(unsolved))
+	}
+	c.encPlan = make([][]grid.Coord, len(c.encParity))
+	for i, cell := range c.encParity {
+		terms := sol.Terms[c.CellIndex(cell)]
+		plan := make([]grid.Coord, len(terms))
+		for j, t := range terms {
+			plan[j] = c.CoordOf(t)
+		}
+		c.encPlan[i] = plan
+	}
+	return c, nil
+}
+
+// Name returns the code family name ("star", "triplestar", "tip",
+// "hdd1").
+func (c *Code) Name() string { return c.name }
+
+// P returns the prime parameter.
+func (c *Code) P() int { return c.p }
+
+// Disks returns the number of disks (grid columns).
+func (c *Code) Disks() int { return c.layout.Cols() }
+
+// Rows returns the number of chunk rows per stripe.
+func (c *Code) Rows() int { return c.layout.Rows() }
+
+// Layout returns the stripe geometry.
+func (c *Code) Layout() *grid.Layout { return c.layout }
+
+// String renders the code as "name(p=..)".
+func (c *Code) String() string { return fmt.Sprintf("%s(p=%d)", c.name, c.p) }
+
+// CellIndex maps a coordinate to a dense cell index (row-major).
+func (c *Code) CellIndex(coord grid.Coord) int {
+	return coord.Row*c.layout.Cols() + coord.Col
+}
+
+// CoordOf is the inverse of CellIndex.
+func (c *Code) CoordOf(idx int) grid.Coord {
+	return grid.Coord{Row: idx / c.layout.Cols(), Col: idx % c.layout.Cols()}
+}
+
+// Stripe holds the chunk contents of one stripe, indexed by CellIndex.
+type Stripe []chunk.Chunk
+
+// NewStripe allocates a stripe of zeroed chunks with the given chunk
+// size.
+func (c *Code) NewStripe(chunkSize int) Stripe {
+	s := make(Stripe, c.layout.Cells())
+	for i := range s {
+		s[i] = chunk.New(chunkSize)
+	}
+	return s
+}
+
+// Chunk returns the stripe chunk at the given coordinate.
+func (s Stripe) Chunk(c *Code, coord grid.Coord) chunk.Chunk { return s[c.CellIndex(coord)] }
+
+// Encode fills every parity chunk of the stripe from the data chunks.
+// Data chunks must already be populated; parity chunks are overwritten.
+func (c *Code) Encode(s Stripe) {
+	if len(s) != c.layout.Cells() {
+		panic(fmt.Sprintf("codes: stripe has %d cells, want %d", len(s), c.layout.Cells()))
+	}
+	for i, cell := range c.encParity {
+		dst := s[c.CellIndex(cell)]
+		clear(dst)
+		for _, term := range c.encPlan[i] {
+			chunk.XORInto(dst, s[c.CellIndex(term)])
+		}
+	}
+}
+
+// Verify reports whether every parity chain of the stripe XORs to zero.
+func (c *Code) Verify(s Stripe) bool {
+	for i := range c.layout.Chains() {
+		ch := &c.layout.Chains()[i]
+		acc := chunk.New(len(s[0]))
+		for _, cell := range ch.Cells {
+			chunk.XORInto(acc, s[c.CellIndex(cell)])
+		}
+		if !acc.IsZero() {
+			return false
+		}
+	}
+	return true
+}
+
+// RecoveryPlan expresses each lost cell as a XOR of surviving cells, or
+// reports that the erasure pattern is unrecoverable.
+func (c *Code) RecoveryPlan(lost []grid.Coord) (map[grid.Coord][]grid.Coord, error) {
+	unknowns := make([]int, len(lost))
+	for i, cell := range lost {
+		if !c.layout.InBounds(cell) {
+			return nil, fmt.Errorf("codes: lost cell %v out of bounds", cell)
+		}
+		unknowns[i] = c.CellIndex(cell)
+	}
+	sol, unsolved := c.sys.Solve(unknowns)
+	if len(unsolved) > 0 {
+		bad := make([]grid.Coord, len(unsolved))
+		for i, u := range unsolved {
+			bad[i] = c.CoordOf(u)
+		}
+		return nil, fmt.Errorf("codes: %v: unrecoverable cells %v", c, bad)
+	}
+	plan := make(map[grid.Coord][]grid.Coord, len(lost))
+	for _, cell := range lost {
+		terms := sol.Terms[c.CellIndex(cell)]
+		coords := make([]grid.Coord, len(terms))
+		for i, t := range terms {
+			coords[i] = c.CoordOf(t)
+		}
+		plan[cell] = coords
+	}
+	return plan, nil
+}
+
+// Recover reconstructs the lost cells of a stripe in place using the
+// generic GF(2) decoder.
+func (c *Code) Recover(s Stripe, lost []grid.Coord) error {
+	plan, err := c.RecoveryPlan(lost)
+	if err != nil {
+		return err
+	}
+	for cell, terms := range plan {
+		dst := s[c.CellIndex(cell)]
+		clear(dst)
+		for _, t := range terms {
+			chunk.XORInto(dst, s[c.CellIndex(t)])
+		}
+	}
+	return nil
+}
+
+// CanRecoverColumns reports whether the simultaneous loss of the given
+// whole disks (columns) is recoverable.
+func (c *Code) CanRecoverColumns(cols ...int) bool {
+	var lost []int
+	for _, col := range cols {
+		if col < 0 || col >= c.layout.Cols() {
+			return false
+		}
+		for r := 0; r < c.layout.Rows(); r++ {
+			lost = append(lost, c.CellIndex(grid.Coord{Row: r, Col: col}))
+		}
+	}
+	return c.sys.Solvable(lost)
+}
+
+// TripleFaultCoverage checks every combination of three distinct columns
+// and returns the number of recoverable combinations, the total number
+// of combinations, and the failing combinations (nil when fully
+// covered).
+func (c *Code) TripleFaultCoverage() (ok, total int, failing [][3]int) {
+	n := c.layout.Cols()
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			for d := b + 1; d < n; d++ {
+				total++
+				if c.CanRecoverColumns(a, b, d) {
+					ok++
+				} else {
+					failing = append(failing, [3]int{a, b, d})
+				}
+			}
+		}
+	}
+	return ok, total, failing
+}
+
+// IsPrime reports whether p is prime (trial division; p is small).
+func IsPrime(p int) bool {
+	if p < 2 {
+		return false
+	}
+	for d := 2; d*d <= p; d++ {
+		if p%d == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func requirePrime(name string, p int) error {
+	if !IsPrime(p) {
+		return fmt.Errorf("codes: %s requires prime p, got %d", name, p)
+	}
+	if p < 3 {
+		return fmt.Errorf("codes: %s requires p >= 3, got %d", name, p)
+	}
+	return nil
+}
+
+// Names lists the registered code family names in stable order.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+var registry = map[string]func(p int) (*Code, error){
+	"star":       NewSTAR,
+	"triplestar": NewTripleStar,
+	"tip":        NewTIP,
+	"hdd1":       NewHDD1,
+}
+
+// New constructs a code by family name.
+func New(name string, p int) (*Code, error) {
+	ctor, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("codes: unknown code %q (have %v)", name, Names())
+	}
+	return ctor(p)
+}
+
+// MustNew is New that panics on error, for tests and examples with
+// compile-time-known parameters.
+func MustNew(name string, p int) *Code {
+	c, err := New(name, p)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// MaxPartialSize returns p-1, the paper's partial-stripe bound (larger
+// errors fall to whole-stripe reconstruction).
+func (c *Code) MaxPartialSize() int { return c.p - 1 }
+
+// MaterializeStripe returns a deterministic, fully encoded stripe with
+// pseudo-random data contents derived from seed; it implements the
+// engine's data-verification interface (core.Rebuilder).
+func (c *Code) MaterializeStripe(seed int64, chunkSize int) []chunk.Chunk {
+	s := c.NewStripe(chunkSize)
+	rng := rand.New(rand.NewSource(seed))
+	for _, cell := range c.layout.DataCells() {
+		rng.Read(s[c.CellIndex(cell)])
+	}
+	c.Encode(s)
+	return s
+}
+
+// RebuildChunk recomputes the lost cell by XOR-ing the chain's other
+// members, implementing core.Rebuilder.
+func (c *Code) RebuildChunk(id grid.ChainID, lost grid.Coord, stripe []chunk.Chunk) (chunk.Chunk, error) {
+	ch, ok := c.layout.Chain(id)
+	if !ok {
+		return nil, fmt.Errorf("codes: %v has no chain %v", c, id)
+	}
+	if !ch.Contains(lost) {
+		return nil, fmt.Errorf("codes: chain %v does not contain %v", id, lost)
+	}
+	acc := chunk.New(len(stripe[0]))
+	for _, m := range ch.Cells {
+		if m == lost {
+			continue
+		}
+		chunk.XORInto(acc, stripe[c.CellIndex(m)])
+	}
+	return acc, nil
+}

@@ -1,0 +1,14 @@
+package codes
+
+// NewHDD1 constructs our HDD1-code stand-in for a prime p: a p+1-disk
+// 3DFT layout with a dedicated horizontal-parity column, a dedicated
+// diagonal-parity column (column 0) and anti-diagonal parity cells along
+// an anti-diagonal line — a contrasting parity placement to NewTIP from
+// the same verified family (see family.go). Exhaustively verified
+// triple-fault tolerant by cmd/mdscheck for primes 5..17.
+func NewHDD1(p int) (*Code, error) {
+	if err := requirePrime("hdd1", p); err != nil {
+		return nil, err
+	}
+	return buildVertical("hdd1", p, HDD1Placement(p))
+}

@@ -1,0 +1,79 @@
+package codes
+
+import "fbf/internal/grid"
+
+// NewSTAR constructs the STAR code (Huang & Xu 2008) for a prime p: an
+// EVENODD-style horizontal code on p+3 disks. Disks 0..p-1 hold data,
+// disk p holds horizontal parity, disk p+1 diagonal parity and disk p+2
+// anti-diagonal parity. The stripe has p-1 rows.
+//
+// The diagonal and anti-diagonal parities each carry an "adjuster": the
+// XOR of one special diagonal (class p-1) folds into every parity of
+// that direction, so the adjuster's data cells are members of every
+// diagonal (resp. anti-diagonal) chain. This is the property the paper
+// observes when noting STAR's higher hit ratio — adjuster chunks are
+// shared by many chains and FBF pins them at the highest priority.
+func NewSTAR(p int) (*Code, error) {
+	if err := requirePrime("star", p); err != nil {
+		return nil, err
+	}
+	rows, cols := p-1, p+3
+	var parity []grid.Coord
+	var chains []grid.Chain
+	for i := 0; i < rows; i++ {
+		parity = append(parity,
+			grid.Coord{Row: i, Col: p},
+			grid.Coord{Row: i, Col: p + 1},
+			grid.Coord{Row: i, Col: p + 2},
+		)
+	}
+
+	// Horizontal chains: row i of the data disks plus its parity cell.
+	for i := 0; i < rows; i++ {
+		cells := make([]grid.Coord, 0, p+1)
+		for j := 0; j < p; j++ {
+			cells = append(cells, grid.Coord{Row: i, Col: j})
+		}
+		cells = append(cells, grid.Coord{Row: i, Col: p})
+		chains = append(chains, grid.Chain{Kind: grid.Horizontal, Index: i, Cells: cells})
+	}
+
+	// diagCells collects the data cells of one diagonal class under the
+	// given direction: class(r, c) == k with c over the data disks.
+	diagCells := func(k int, anti bool) []grid.Coord {
+		var out []grid.Coord
+		for r := 0; r < rows; r++ {
+			for c := 0; c < p; c++ {
+				cls := (r + c) % p
+				if anti {
+					cls = ((r-c)%p + p) % p
+				}
+				if cls == k {
+					out = append(out, grid.Coord{Row: r, Col: c})
+				}
+			}
+		}
+		return out
+	}
+
+	// Diagonal chains: class i plus the adjuster class p-1 plus the
+	// stored parity — their XOR is zero by the EVENODD construction
+	// Q(i) = S XOR diag(i), where S is the adjuster diagonal's XOR.
+	adjD := diagCells(p-1, false)
+	adjA := diagCells(p-1, true)
+	for i := 0; i < rows; i++ {
+		d := append(append([]grid.Coord{}, diagCells(i, false)...), adjD...)
+		d = append(d, grid.Coord{Row: i, Col: p + 1})
+		chains = append(chains, grid.Chain{Kind: grid.Diagonal, Index: i, Cells: d})
+
+		a := append(append([]grid.Coord{}, diagCells(i, true)...), adjA...)
+		a = append(a, grid.Coord{Row: i, Col: p + 2})
+		chains = append(chains, grid.Chain{Kind: grid.AntiDiagonal, Index: i, Cells: a})
+	}
+
+	layout, err := grid.NewLayout(rows, cols, parity, chains)
+	if err != nil {
+		return nil, err
+	}
+	return build("star", p, layout)
+}

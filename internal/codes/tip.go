@@ -1,0 +1,16 @@
+package codes
+
+// NewTIP constructs our TIP-code stand-in for a prime p: a
+// storage-optimal 3DFT layout on p+1 disks with p-1 rows whose diagonal
+// and anti-diagonal parity cells are distributed across the data columns
+// (diagonal parity on the main diagonal, anti-diagonal parity on a
+// slope-2 line). See family.go for the substitution rationale; the
+// placement is exhaustively verified triple-fault tolerant by
+// cmd/mdscheck for the primes used in the paper (5, 7, 11, 13) and
+// beyond.
+func NewTIP(p int) (*Code, error) {
+	if err := requirePrime("tip", p); err != nil {
+		return nil, err
+	}
+	return buildVertical("tip", p, TIPPlacement(p))
+}

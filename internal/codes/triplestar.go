@@ -1,0 +1,65 @@
+package codes
+
+import "fbf/internal/grid"
+
+// NewTripleStar constructs our Triple-Star stand-in for a prime p: a
+// triple-parity code on p+2 disks with p-1 rows, built with the RTP
+// construction (Corbett & Goel's Triple-Parity, reference [15] of the
+// FBF paper). Disks 0..p-2 hold data, disk p-1 row parity, disk p
+// diagonal parity and disk p+1 anti-diagonal parity.
+//
+// As in RDP/RTP, the diagonal and anti-diagonal chains run over the data
+// disks *and* the row-parity disk, which removes the need for adjusters
+// — matching Triple-Star's headline property of optimal encoding
+// complexity. Diagonal classes are taken modulo p with class p-1 left
+// unprotected in each direction (the "missing diagonal" of RDP).
+func NewTripleStar(p int) (*Code, error) {
+	if err := requirePrime("triplestar", p); err != nil {
+		return nil, err
+	}
+	rows, cols := p-1, p+2
+	var parity []grid.Coord
+	var chains []grid.Chain
+	for i := 0; i < rows; i++ {
+		parity = append(parity,
+			grid.Coord{Row: i, Col: p - 1},
+			grid.Coord{Row: i, Col: p},
+			grid.Coord{Row: i, Col: p + 1},
+		)
+	}
+
+	// Horizontal chains: data cells plus the row parity cell.
+	for i := 0; i < rows; i++ {
+		cells := make([]grid.Coord, 0, p)
+		for j := 0; j < p; j++ {
+			cells = append(cells, grid.Coord{Row: i, Col: j}) // includes (i, p-1)
+		}
+		chains = append(chains, grid.Chain{Kind: grid.Horizontal, Index: i, Cells: cells})
+	}
+
+	// Diagonal / anti-diagonal chains over columns 0..p-1 (data + row
+	// parity), classes 0..p-2, plus the dedicated parity cell.
+	for i := 0; i < rows; i++ {
+		var d, a []grid.Coord
+		for r := 0; r < rows; r++ {
+			for c := 0; c < p; c++ {
+				if (r+c)%p == i {
+					d = append(d, grid.Coord{Row: r, Col: c})
+				}
+				if ((r-c)%p+p)%p == i {
+					a = append(a, grid.Coord{Row: r, Col: c})
+				}
+			}
+		}
+		d = append(d, grid.Coord{Row: i, Col: p})
+		a = append(a, grid.Coord{Row: i, Col: p + 1})
+		chains = append(chains, grid.Chain{Kind: grid.Diagonal, Index: i, Cells: d})
+		chains = append(chains, grid.Chain{Kind: grid.AntiDiagonal, Index: i, Cells: a})
+	}
+
+	layout, err := grid.NewLayout(rows, cols, parity, chains)
+	if err != nil {
+		return nil, err
+	}
+	return build("triplestar", p, layout)
+}

@@ -1,0 +1,16 @@
+package core
+
+import (
+	"testing"
+
+	"fbf/internal/codes"
+)
+
+func mustCode(t testing.TB, name string, p int) *codes.Code {
+	t.Helper()
+	c, err := codes.New(name, p)
+	if err != nil {
+		t.Fatalf("codes.New(%s, %d): %v", name, p, err)
+	}
+	return c
+}

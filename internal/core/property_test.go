@@ -1,0 +1,144 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fbf/internal/codes"
+	"fbf/internal/grid"
+)
+
+// TestPropertySchemeInvariants checks structural invariants of every
+// generated scheme on random errors, codes and strategies:
+//
+//  1. one selected chain per lost chunk, each containing its lost chunk,
+//  2. fetch lists never contain lost chunks,
+//  3. priority counts sum to the total request count,
+//  4. every referenced cell is inside the stripe,
+//  5. unique fetches <= total requests.
+func TestPropertySchemeInvariants(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		name := codes.Names()[rng.Intn(len(codes.Names()))]
+		p := []int{5, 7, 11}[rng.Intn(3)]
+		code := codes.MustNew(name, p)
+		strategy := []Strategy{StrategyTypical, StrategyLooped, StrategyGreedy}[rng.Intn(3)]
+		size := 1 + rng.Intn(min(p-1, code.Rows()))
+		e := PartialStripeError{
+			Disk: rng.Intn(code.Disks()),
+			Row:  rng.Intn(code.Rows() - size + 1),
+			Size: size,
+		}
+		s, err := GenerateScheme(code, e, strategy)
+		if err != nil {
+			return false
+		}
+		if len(s.Selected) != size {
+			return false
+		}
+		lost := map[grid.Coord]bool{}
+		for _, c := range e.LostCells() {
+			lost[c] = true
+		}
+		layout := code.Layout()
+		sumPriorities := 0
+		for _, pr := range s.Priorities {
+			if pr < 1 {
+				return false
+			}
+			sumPriorities += pr
+		}
+		if sumPriorities != s.TotalRequests() {
+			return false
+		}
+		if s.UniqueFetches() > s.TotalRequests() {
+			return false
+		}
+		for _, sel := range s.Selected {
+			if !lost[sel.Lost] {
+				return false
+			}
+			ch, ok := layout.Chain(sel.Chain)
+			if !ok || !ch.Contains(sel.Lost) {
+				return false
+			}
+			for _, f := range sel.Fetch {
+				if lost[f] || !layout.InBounds(f) {
+					return false
+				}
+				if !ch.Contains(f) {
+					return false
+				}
+			}
+			// Fetch = chain minus the lost cell, exactly.
+			if len(sel.Fetch) != len(ch.Cells)-1 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 150})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyTypicalNeverWorseThanLoopedOnRequests: the typical scheme
+// replays one chain per lost chunk with no sharing, so its unique
+// fetches always equal its total requests; looping can only reduce
+// unique fetches relative to its own total.
+func TestPropertyTypicalSchemesShareNothing(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		code := codes.MustNew("tip", 11)
+		size := 1 + rng.Intn(10)
+		e := PartialStripeError{Disk: rng.Intn(code.Disks()), Row: 0, Size: size}
+		s, err := GenerateScheme(code, e, StrategyTypical)
+		if err != nil {
+			return false
+		}
+		return s.UniqueFetches() == s.TotalRequests() && s.SharedChunks() == 0
+	}, &quick.Config{MaxCount: 60})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyFBFQueueConservation: chunks never vanish — across any
+// request sequence, every resident chunk is in exactly one queue.
+func TestPropertyFBFQueueConservation(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		f := NewFBF(1 + rng.Intn(8))
+		pri := map[int]int{}
+		for i := 0; i < 12; i++ {
+			pri[i] = 1 + rng.Intn(3)
+		}
+		f.SetPriorities(prios(pri))
+		for i := 0; i < 300; i++ {
+			f.Request(cid(rng.Intn(12)))
+			seen := map[string]bool{}
+			total := 0
+			for q := 1; q <= 3; q++ {
+				for _, id := range f.QueueContents(q) {
+					key := id.String()
+					if seen[key] {
+						return false // chunk in two queues
+					}
+					seen[key] = true
+					total++
+					if !f.Contains(id) {
+						return false
+					}
+				}
+			}
+			if total != f.Len() {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 25})
+	if err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,268 @@
+package core
+
+import (
+	"fmt"
+
+	"fbf/internal/cache"
+	"fbf/internal/grid"
+)
+
+// Strategy selects how recovery parity chains are chosen for the lost
+// chunks of a partial stripe error.
+type Strategy uint8
+
+const (
+	// StrategyTypical repairs every lost chunk through its horizontal
+	// parity chain (falling back to other directions only when the
+	// horizontal chain is unusable) — the conventional recovery the
+	// paper's Figure 2(a) depicts. Chains of distinct rows never overlap,
+	// so no chunk is shared.
+	StrategyTypical Strategy = iota
+	// StrategyLooped cycles through the three chain directions across
+	// consecutive lost chunks (horizontal, diagonal, anti-diagonal,
+	// horizontal, ...), the FBF recovery generation of Section III-A.1;
+	// crossing directions makes chains share chunks.
+	StrategyLooped
+	// StrategyGreedy picks, per lost chunk, the usable chain that adds
+	// the fewest chunks not already scheduled for fetching (ties broken
+	// toward more sharing) — an ablation that pushes chain selection
+	// beyond the paper's looping heuristic.
+	StrategyGreedy
+)
+
+// String returns the strategy name.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyTypical:
+		return "typical"
+	case StrategyLooped:
+		return "looped"
+	case StrategyGreedy:
+		return "greedy"
+	default:
+		return fmt.Sprintf("Strategy(%d)", uint8(s))
+	}
+}
+
+// ParseStrategy converts a name to a Strategy.
+func ParseStrategy(name string) (Strategy, error) {
+	switch name {
+	case "typical":
+		return StrategyTypical, nil
+	case "looped", "fbf":
+		return StrategyLooped, nil
+	case "greedy":
+		return StrategyGreedy, nil
+	default:
+		return 0, fmt.Errorf("core: unknown strategy %q", name)
+	}
+}
+
+// SelectedChain records the repair chain chosen for one lost chunk.
+type SelectedChain struct {
+	Lost  grid.Coord   // the chunk being rebuilt
+	Chain grid.ChainID // the chain used to rebuild it
+	Fetch []grid.Coord // surviving chain members, in request order
+}
+
+// Scheme is a complete recovery plan for one partial stripe error: the
+// chain per lost chunk, the resulting chunk-request sequence and the
+// priority dictionary FBF's cache consults (Table II/III of the paper).
+type Scheme struct {
+	Code     Geometry
+	Err      PartialStripeError
+	Strategy Strategy
+	Selected []SelectedChain
+
+	// Priorities maps each fetched chunk to the number of selected
+	// chains that share it (1, 2 or 3+). Chunks shared by more chains
+	// save more re-reads and get higher cache priority.
+	Priorities map[grid.Coord]int
+}
+
+// GenerateScheme builds the recovery scheme for one partial stripe error
+// under the given strategy.
+func GenerateScheme(code Geometry, e PartialStripeError, strategy Strategy) (*Scheme, error) {
+	if err := e.Validate(code); err != nil {
+		return nil, err
+	}
+	lost := e.LostCells()
+	lostSet := make(map[grid.Coord]bool, len(lost))
+	for _, c := range lost {
+		lostSet[c] = true
+	}
+
+	// usable returns the chain of the given kind through cell, provided
+	// it contains no other lost cell (a chain with two erasures cannot
+	// rebuild either on its own).
+	usable := func(cell grid.Coord, kind grid.ChainKind) (*grid.Chain, bool) {
+		ch, ok := code.Layout().ChainThrough(cell, kind)
+		if !ok {
+			return nil, false
+		}
+		for _, m := range ch.Cells {
+			if m != cell && lostSet[m] {
+				return nil, false
+			}
+		}
+		return ch, true
+	}
+
+	scheme := &Scheme{Code: code, Err: e, Strategy: strategy, Priorities: make(map[grid.Coord]int)}
+	planned := make(map[grid.Coord]bool) // chunks already scheduled for fetch
+
+	for k, cell := range lost {
+		var chosen *grid.Chain
+		switch strategy {
+		case StrategyTypical:
+			for _, kind := range grid.Kinds() {
+				if ch, ok := usable(cell, kind); ok {
+					chosen = ch
+					break
+				}
+			}
+		case StrategyLooped:
+			kinds := grid.Kinds()
+			for off := 0; off < len(kinds); off++ {
+				kind := kinds[(k+off)%len(kinds)]
+				if ch, ok := usable(cell, kind); ok {
+					chosen = ch
+					break
+				}
+			}
+		case StrategyGreedy:
+			bestFresh, bestOverlap := int(^uint(0)>>1), -1
+			for _, kind := range grid.Kinds() {
+				ch, ok := usable(cell, kind)
+				if !ok {
+					continue
+				}
+				overlap, fresh := 0, 0
+				for _, m := range ch.Cells {
+					if m == cell {
+						continue
+					}
+					if planned[m] {
+						overlap++
+					} else {
+						fresh++
+					}
+				}
+				// Minimize the marginal number of new chunks to read;
+				// break ties toward more sharing (higher priorities).
+				if fresh < bestFresh || (fresh == bestFresh && overlap > bestOverlap) {
+					chosen, bestFresh, bestOverlap = ch, fresh, overlap
+				}
+			}
+		default:
+			return nil, fmt.Errorf("core: invalid strategy %v", strategy)
+		}
+		if chosen == nil {
+			return nil, fmt.Errorf("core: no usable chain for lost chunk %v of %v", cell, e)
+		}
+
+		fetch := make([]grid.Coord, 0, len(chosen.Cells)-1)
+		for _, m := range chosen.Cells {
+			if m == cell {
+				continue
+			}
+			fetch = append(fetch, m)
+			scheme.Priorities[m]++
+			planned[m] = true
+		}
+		scheme.Selected = append(scheme.Selected, SelectedChain{Lost: cell, Chain: chosen.ID(), Fetch: fetch})
+	}
+	return scheme, nil
+}
+
+// Requests returns the chunk-request sequence the reconstruction engine
+// replays against the cache: for each selected chain in order, its
+// surviving members. Chunks shared by several chains appear once per
+// chain — the repeats are exactly the requests a good cache turns into
+// hits.
+func (s *Scheme) Requests() []grid.Coord {
+	var out []grid.Coord
+	for _, sel := range s.Selected {
+		out = append(out, sel.Fetch...)
+	}
+	return out
+}
+
+// RequestIDs is Requests with each coordinate qualified by the scheme's
+// stripe, ready to feed a cache policy.
+func (s *Scheme) RequestIDs() []cache.ChunkID {
+	reqs := s.Requests()
+	out := make([]cache.ChunkID, len(reqs))
+	for i, r := range reqs {
+		out[i] = cache.ChunkID{Stripe: s.Err.Stripe, Cell: r}
+	}
+	return out
+}
+
+// PriorityIDs returns the priority dictionary keyed by ChunkID, ready
+// for cache.PriorityAware.SetPriorities.
+func (s *Scheme) PriorityIDs() map[cache.ChunkID]int {
+	out := make(map[cache.ChunkID]int, len(s.Priorities))
+	for cell, pr := range s.Priorities {
+		out[cache.ChunkID{Stripe: s.Err.Stripe, Cell: cell}] = pr
+	}
+	return out
+}
+
+// UniqueFetches returns the number of distinct chunks the scheme reads —
+// the read I/O count when every shared request hits in cache.
+func (s *Scheme) UniqueFetches() int { return len(s.Priorities) }
+
+// TotalRequests returns the total number of chunk requests including
+// shared re-references.
+func (s *Scheme) TotalRequests() int {
+	n := 0
+	for _, sel := range s.Selected {
+		n += len(sel.Fetch)
+	}
+	return n
+}
+
+// SharedChunks returns how many fetched chunks are shared by at least
+// two selected chains.
+func (s *Scheme) SharedChunks() int {
+	n := 0
+	for _, pr := range s.Priorities {
+		if pr >= 2 {
+			n++
+		}
+	}
+	return n
+}
+
+// PriorityGroups returns the fetched chunks bucketed by FBF priority
+// (index 0 → priority 1, index 1 → priority 2, index 2 → priority 3+),
+// mirroring Table III of the paper.
+func (s *Scheme) PriorityGroups() [3][]grid.Coord {
+	var groups [3][]grid.Coord
+	for cell, pr := range s.Priorities {
+		groups[clampPriority(pr)-1] = append(groups[clampPriority(pr)-1], cell)
+	}
+	for i := range groups {
+		sortCoords(groups[i])
+	}
+	return groups
+}
+
+func clampPriority(pr int) int {
+	if pr >= 3 {
+		return 3
+	}
+	if pr < 1 {
+		return 1
+	}
+	return pr
+}
+
+func sortCoords(cs []grid.Coord) {
+	for i := 1; i < len(cs); i++ {
+		for j := i; j > 0 && cs[j].Less(cs[j-1]); j-- {
+			cs[j], cs[j-1] = cs[j-1], cs[j]
+		}
+	}
+}

@@ -1,0 +1,230 @@
+package disk
+
+import (
+	"testing"
+
+	"fbf/internal/grid"
+	"fbf/internal/sim"
+)
+
+func TestFixedLatencyModel(t *testing.T) {
+	m := PaperFixedLatency()
+	if m.Name() != "fixed" {
+		t.Error("name wrong")
+	}
+	if m.ServiceTime(0, 100, 32768, false) != 10*sim.Millisecond {
+		t.Error("read time wrong")
+	}
+	if m.ServiceTime(0, 100, 32768, true) != 10*sim.Millisecond {
+		t.Error("write time wrong")
+	}
+}
+
+func TestPositionalModel(t *testing.T) {
+	m := NewPositional(1000, 1)
+	if m.Name() != "positional" {
+		t.Error("name wrong")
+	}
+	// Zero distance: no seek, still rotation + transfer.
+	st := m.ServiceTime(50, 50, 32768, false)
+	if st <= 0 {
+		t.Error("service time must be positive")
+	}
+	// Larger distance costs at least the minimum seek more on average;
+	// compare expectations over many samples to smooth rotation noise.
+	var near, far sim.Time
+	for i := 0; i < 200; i++ {
+		near += m.ServiceTime(0, 1, 32768, false)
+		far += m.ServiceTime(0, 999, 32768, false)
+	}
+	if far <= near {
+		t.Errorf("far seeks (%v) should exceed near seeks (%v)", far, near)
+	}
+}
+
+func TestDiskFIFOAndBusy(t *testing.T) {
+	s := sim.New()
+	d := NewDisk(0, s, FixedLatency{Read: 10 * sim.Millisecond, Write: 20 * sim.Millisecond})
+	var completions []sim.Time
+	for i := 0; i < 3; i++ {
+		d.Submit(&Request{Addr: int64(i), Size: 1, Done: func(issued, completed sim.Time) {
+			completions = append(completions, completed)
+		}})
+	}
+	if d.QueueDepth() != 2 { // one in service
+		t.Errorf("QueueDepth = %d", d.QueueDepth())
+	}
+	s.Run()
+	want := []sim.Time{10 * sim.Millisecond, 20 * sim.Millisecond, 30 * sim.Millisecond}
+	if len(completions) != 3 {
+		t.Fatalf("completions = %v", completions)
+	}
+	for i := range want {
+		if completions[i] != want[i] {
+			t.Errorf("completion %d = %v, want %v", i, completions[i], want[i])
+		}
+	}
+	st := d.Stats()
+	if st.Reads != 3 || st.Writes != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.BusyTime != 30*sim.Millisecond {
+		t.Errorf("BusyTime = %v", st.BusyTime)
+	}
+	if st.QueueTime != 30*sim.Millisecond { // 0 + 10 + 20
+		t.Errorf("QueueTime = %v", st.QueueTime)
+	}
+}
+
+func TestDiskWriteCounted(t *testing.T) {
+	s := sim.New()
+	d := NewDisk(0, s, PaperFixedLatency())
+	done := false
+	d.Submit(&Request{Addr: 0, Size: 1, Write: true, Done: func(_, _ sim.Time) { done = true }})
+	s.Run()
+	if !done || d.Stats().Writes != 1 {
+		t.Error("write not completed/counted")
+	}
+}
+
+func TestSubmitWithoutDonePanics(t *testing.T) {
+	s := sim.New()
+	d := NewDisk(0, s, PaperFixedLatency())
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic")
+		}
+	}()
+	d.Submit(&Request{})
+}
+
+func TestNilModelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic")
+		}
+	}()
+	NewDisk(0, sim.New(), nil)
+}
+
+func TestFaultInjection(t *testing.T) {
+	s := sim.New()
+	d := NewDisk(0, s, PaperFixedLatency())
+	failed := 0
+	d.InjectFault(&Fault{Until: 5 * sim.Millisecond, Hook: func(r *Request) { failed++ }})
+	d.Submit(&Request{Addr: 0, Size: 1, Done: func(_, _ sim.Time) { t.Error("faulted request completed") }})
+	if failed != 1 {
+		t.Fatalf("failed = %d", failed)
+	}
+	// After the window the disk serves normally.
+	s.RunUntil(6 * sim.Millisecond)
+	ok := false
+	d.Submit(&Request{Addr: 0, Size: 1, Done: func(_, _ sim.Time) { ok = true }})
+	s.Run()
+	if !ok {
+		t.Error("request after fault window did not complete")
+	}
+}
+
+func newTestArray(t *testing.T) (*sim.Simulator, *Array) {
+	t.Helper()
+	s := sim.New()
+	a, err := NewArray(s, ArrayConfig{Disks: 4, Rows: 4, Stripes: 10, ChunkSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, a
+}
+
+func TestArrayBasics(t *testing.T) {
+	s, a := newTestArray(t)
+	if a.Disks() != 4 || a.Stripes() != 10 || a.ChunkSize() != 1024 {
+		t.Error("accessors wrong")
+	}
+	got := sim.Time(-1)
+	err := a.ReadChunk(2, grid.Coord{Row: 1, Col: 3}, func(issued, completed sim.Time) {
+		got = completed
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if got != 10*sim.Millisecond {
+		t.Errorf("read completed at %v", got)
+	}
+	if a.Disk(3).Stats().Reads != 1 {
+		t.Error("read went to wrong disk")
+	}
+	if a.TotalStats().Reads != 1 {
+		t.Error("TotalStats wrong")
+	}
+}
+
+func TestArrayAddressing(t *testing.T) {
+	_, a := newTestArray(t)
+	if got := a.chunkAddr(2, 1); got != 9 {
+		t.Errorf("chunkAddr(2,1) = %d, want 9", got)
+	}
+}
+
+func TestArraySpareWritesBeyondData(t *testing.T) {
+	s, a := newTestArray(t)
+	if err := a.WriteSpare(1, func(_, _ sim.Time) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.WriteSpare(1, func(_, _ sim.Time) {}); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if a.Disk(1).Stats().Writes != 2 {
+		t.Error("spare writes not served")
+	}
+	// Spare area starts past the data region: rows*stripes = 40.
+	if a.spareBase != 40 || a.spareAlloc[1] != 2 {
+		t.Errorf("spareBase=%d alloc=%v", a.spareBase, a.spareAlloc)
+	}
+}
+
+func TestArrayErrors(t *testing.T) {
+	_, a := newTestArray(t)
+	noop := func(_, _ sim.Time) {}
+	if err := a.ReadChunk(-1, grid.Coord{}, noop); err == nil {
+		t.Error("negative stripe accepted")
+	}
+	if err := a.ReadChunk(10, grid.Coord{}, noop); err == nil {
+		t.Error("stripe out of range accepted")
+	}
+	if err := a.ReadChunk(0, grid.Coord{Row: 9, Col: 0}, noop); err == nil {
+		t.Error("row out of range accepted")
+	}
+	if err := a.ReadChunk(0, grid.Coord{Row: 0, Col: 9}, noop); err == nil {
+		t.Error("column out of range accepted")
+	}
+	if err := a.WriteSpare(-1, noop); err == nil {
+		t.Error("bad spare disk accepted")
+	}
+	if _, err := NewArray(sim.New(), ArrayConfig{}); err == nil {
+		t.Error("zero config accepted")
+	}
+}
+
+func TestArrayContention(t *testing.T) {
+	// Two reads to the same disk serialize; reads to distinct disks run
+	// in parallel.
+	s, a := newTestArray(t)
+	var sameDisk, diffDisk []sim.Time
+	collect := func(dst *[]sim.Time) func(sim.Time, sim.Time) {
+		return func(_, completed sim.Time) { *dst = append(*dst, completed) }
+	}
+	a.ReadChunk(0, grid.Coord{Row: 0, Col: 0}, collect(&sameDisk))
+	a.ReadChunk(0, grid.Coord{Row: 1, Col: 0}, collect(&sameDisk))
+	a.ReadChunk(0, grid.Coord{Row: 0, Col: 1}, collect(&diffDisk))
+	a.ReadChunk(0, grid.Coord{Row: 0, Col: 2}, collect(&diffDisk))
+	s.Run()
+	if sameDisk[0] != 10*sim.Millisecond || sameDisk[1] != 20*sim.Millisecond {
+		t.Errorf("same-disk completions %v", sameDisk)
+	}
+	if diffDisk[0] != 10*sim.Millisecond || diffDisk[1] != 10*sim.Millisecond {
+		t.Errorf("cross-disk completions %v", diffDisk)
+	}
+}

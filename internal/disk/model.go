@@ -1,0 +1,278 @@
+// Package disk models a disk array as discrete-event entities: each
+// disk serves one request at a time from a FIFO queue under a pluggable
+// service-time model. It replaces DiskSim in the paper's methodology;
+// the paper's configuration (a flat 10 ms disk access time) is the
+// FixedLatency model, and a positional seek/rotation/transfer model is
+// provided for realism ablations.
+package disk
+
+import (
+	"math"
+	"math/rand"
+
+	"fbf/internal/sim"
+)
+
+// Model computes the service time of one request given the head's
+// previous chunk address and the request's address and size in bytes.
+type Model interface {
+	// Name identifies the model in experiment output.
+	Name() string
+	// ServiceTime returns how long the disk mechanism is busy with the
+	// request, excluding queueing. prevAddr is the chunk address where
+	// the head currently rests; addr the requested chunk address.
+	ServiceTime(prevAddr, addr int64, sizeBytes int, write bool) sim.Time
+}
+
+// FixedLatency serves every request in a constant time, the
+// configuration the paper's evaluation uses (10 ms per disk access).
+type FixedLatency struct {
+	Read  sim.Time
+	Write sim.Time
+}
+
+// PaperFixedLatency returns the paper's disk service model: 10 ms per
+// access, reads and writes alike.
+func PaperFixedLatency() FixedLatency {
+	return FixedLatency{Read: 10 * sim.Millisecond, Write: 10 * sim.Millisecond}
+}
+
+// Name implements Model.
+func (m FixedLatency) Name() string { return "fixed" }
+
+// ServiceTime implements Model.
+func (m FixedLatency) ServiceTime(_, _ int64, _ int, write bool) sim.Time {
+	if write {
+		return m.Write
+	}
+	return m.Read
+}
+
+// Positional approximates a mechanical disk: a square-root seek curve
+// over the address distance, a uniformly distributed rotational latency
+// and a linear transfer time. The rotational term uses a deterministic
+// per-disk RNG so runs remain reproducible.
+type Positional struct {
+	SeekMin     sim.Time // track-to-track seek
+	SeekMax     sim.Time // full-stroke seek
+	RPM         int      // spindle speed
+	TransferBps int64    // sustained media rate, bytes/second
+	Chunks      int64    // addressable chunk count (for seek scaling)
+
+	rng *rand.Rand
+}
+
+// NewPositional returns a positional model resembling a 7200 RPM
+// nearline drive, seeded deterministically.
+func NewPositional(chunks int64, seed int64) *Positional {
+	return &Positional{
+		SeekMin:     sim.Millisecond / 2,
+		SeekMax:     9 * sim.Millisecond,
+		RPM:         7200,
+		TransferBps: 150 << 20, // 150 MiB/s
+		Chunks:      chunks,
+		rng:         rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Name implements Model.
+func (m *Positional) Name() string { return "positional" }
+
+// ServiceTime implements Model.
+func (m *Positional) ServiceTime(prevAddr, addr int64, sizeBytes int, _ bool) sim.Time {
+	var seek sim.Time
+	if dist := addr - prevAddr; dist != 0 {
+		if dist < 0 {
+			dist = -dist
+		}
+		span := m.Chunks
+		if span < 1 {
+			span = 1
+		}
+		frac := math.Sqrt(float64(dist) / float64(span))
+		seek = m.SeekMin + sim.Time(frac*float64(m.SeekMax-m.SeekMin))
+	}
+	rotation := sim.Time(60 * float64(sim.Second) / float64(m.RPM))
+	rotational := sim.Time(m.rng.Int63n(int64(rotation)))
+	transfer := sim.Time(float64(sizeBytes) / float64(m.TransferBps) * float64(sim.Second))
+	return seek + rotational + transfer
+}
+
+// Request is one disk I/O. Done fires at completion with the issue and
+// completion times; it runs inside the simulation loop.
+type Request struct {
+	Addr  int64 // chunk-granularity address
+	Size  int   // bytes
+	Write bool
+	Done  func(issued, completed sim.Time)
+
+	issued sim.Time
+}
+
+// Stats aggregates a disk's served I/O.
+type Stats struct {
+	Reads     uint64
+	Writes    uint64
+	BusyTime  sim.Time
+	QueueTime sim.Time
+}
+
+// Scheduler selects the order a disk serves its queued requests.
+type Scheduler uint8
+
+const (
+	// SchedFIFO serves requests in arrival order (the default).
+	SchedFIFO Scheduler = iota
+	// SchedSSTF serves the request with the shortest seek from the
+	// current head position (ties to the earlier arrival).
+	SchedSSTF
+	// SchedLOOK sweeps the head in one direction serving requests in
+	// address order, reversing at the last pending request (the
+	// elevator algorithm).
+	SchedLOOK
+)
+
+// String names the scheduler.
+func (s Scheduler) String() string {
+	switch s {
+	case SchedFIFO:
+		return "fifo"
+	case SchedSSTF:
+		return "sstf"
+	case SchedLOOK:
+		return "look"
+	default:
+		return "Scheduler(?)"
+	}
+}
+
+// Disk is one drive: a scheduling queue in front of a single server
+// whose holding time comes from the Model.
+type Disk struct {
+	id        int
+	sim       *sim.Simulator
+	model     Model
+	scheduler Scheduler
+	sweepUp   bool // LOOK direction
+	queue     []*Request
+	busy      bool
+	head      int64
+	stats     Stats
+	fault     *Fault
+}
+
+// NewDisk creates a disk attached to the simulator with FIFO
+// scheduling.
+func NewDisk(id int, s *sim.Simulator, model Model) *Disk {
+	if model == nil {
+		panic("disk: nil model")
+	}
+	return &Disk{id: id, sim: s, model: model, sweepUp: true}
+}
+
+// SetScheduler selects the queue discipline; safe only before traffic
+// starts.
+func (d *Disk) SetScheduler(s Scheduler) { d.scheduler = s }
+
+// pickNext removes and returns the next request per the scheduler.
+func (d *Disk) pickNext() *Request {
+	best := 0
+	switch d.scheduler {
+	case SchedSSTF:
+		bestDist := int64(-1)
+		for i, r := range d.queue {
+			dist := r.Addr - d.head
+			if dist < 0 {
+				dist = -dist
+			}
+			if bestDist < 0 || dist < bestDist {
+				best, bestDist = i, dist
+			}
+		}
+	case SchedLOOK:
+		for pass := 0; pass < 2; pass++ {
+			found := -1
+			var foundAddr int64
+			for i, r := range d.queue {
+				if d.sweepUp && r.Addr >= d.head {
+					if found < 0 || r.Addr < foundAddr {
+						found, foundAddr = i, r.Addr
+					}
+				}
+				if !d.sweepUp && r.Addr <= d.head {
+					if found < 0 || r.Addr > foundAddr {
+						found, foundAddr = i, r.Addr
+					}
+				}
+			}
+			if found >= 0 {
+				best = found
+				break
+			}
+			d.sweepUp = !d.sweepUp // nothing ahead: reverse and rescan
+		}
+	default: // FIFO
+	}
+	r := d.queue[best]
+	d.queue = append(d.queue[:best], d.queue[best+1:]...)
+	return r
+}
+
+// ID returns the disk's index in the array.
+func (d *Disk) ID() int { return d.id }
+
+// Stats returns the served-I/O counters.
+func (d *Disk) Stats() Stats { return d.stats }
+
+// QueueDepth returns the number of requests waiting (not in service).
+func (d *Disk) QueueDepth() int { return len(d.queue) }
+
+// Fault describes an injected whole-request failure window, used by the
+// failure-injection tests: requests issued while Until is in the future
+// complete with Failed=true via the FaultHook.
+type Fault struct {
+	Until sim.Time
+	Hook  func(r *Request)
+}
+
+// InjectFault arms a fault window on the disk.
+func (d *Disk) InjectFault(f *Fault) { d.fault = f }
+
+// Submit enqueues a request. Completion is signalled through r.Done.
+func (d *Disk) Submit(r *Request) {
+	if r == nil || r.Done == nil {
+		panic("disk: request without completion callback")
+	}
+	r.issued = d.sim.Now()
+	if d.fault != nil && d.sim.Now() < d.fault.Until && d.fault.Hook != nil {
+		d.fault.Hook(r)
+		return
+	}
+	d.queue = append(d.queue, r)
+	if !d.busy {
+		d.startNext()
+	}
+}
+
+func (d *Disk) startNext() {
+	if len(d.queue) == 0 {
+		d.busy = false
+		return
+	}
+	d.busy = true
+	r := d.pickNext()
+	d.stats.QueueTime += d.sim.Now() - r.issued
+	service := d.model.ServiceTime(d.head, r.Addr, r.Size, r.Write)
+	d.stats.BusyTime += service
+	d.head = r.Addr
+	d.sim.Schedule(service, func() {
+		if r.Write {
+			d.stats.Writes++
+		} else {
+			d.stats.Reads++
+		}
+		done := d.sim.Now()
+		r.Done(r.issued, done)
+		d.startNext()
+	})
+}

@@ -1,0 +1,100 @@
+// Package ds holds small generic data structures shared by the cache
+// policies and the FBF core: currently an intrusive doubly-linked list
+// with O(1) node removal.
+package ds
+
+// Node is an element of List. Callers keep Node pointers (typically in a
+// map) to get O(1) Remove and MoveToBack without interface boxing.
+type Node[T any] struct {
+	prev, next *Node[T]
+	Val        T
+}
+
+// List is a doubly-linked list with O(1) operations at both ends. The
+// zero value is an empty list. Convention across the cache policies: the
+// back is the most-recently-used end, the front is the eviction end.
+type List[T any] struct {
+	head, tail *Node[T]
+	size       int
+}
+
+// Len returns the number of elements.
+func (l *List[T]) Len() int { return l.size }
+
+// Front returns the front node, or nil when empty.
+func (l *List[T]) Front() *Node[T] { return l.head }
+
+// Back returns the back node, or nil when empty.
+func (l *List[T]) Back() *Node[T] { return l.tail }
+
+// PushBack appends v and returns its node.
+func (l *List[T]) PushBack(v T) *Node[T] {
+	n := &Node[T]{Val: v, prev: l.tail}
+	if l.tail != nil {
+		l.tail.next = n
+	} else {
+		l.head = n
+	}
+	l.tail = n
+	l.size++
+	return n
+}
+
+// PushFront prepends v and returns its node.
+func (l *List[T]) PushFront(v T) *Node[T] {
+	n := &Node[T]{Val: v, next: l.head}
+	if l.head != nil {
+		l.head.prev = n
+	} else {
+		l.tail = n
+	}
+	l.head = n
+	l.size++
+	return n
+}
+
+// Remove unlinks n from the list. n must be a member of l.
+func (l *List[T]) Remove(n *Node[T]) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		l.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		l.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+	l.size--
+}
+
+// MoveToBack repositions n at the MRU end.
+func (l *List[T]) MoveToBack(n *Node[T]) {
+	if l.tail == n {
+		return
+	}
+	l.Remove(n)
+	n.prev = l.tail
+	if l.tail != nil {
+		l.tail.next = n
+	} else {
+		l.head = n
+	}
+	l.tail = n
+	l.size++
+}
+
+// PopFront removes and returns the front node's value; it must not be
+// called on an empty list.
+func (l *List[T]) PopFront() T {
+	n := l.head
+	l.Remove(n)
+	return n.Val
+}
+
+// Next returns the node after n, or nil at the back.
+func (n *Node[T]) Next() *Node[T] { return n.next }
+
+// Prev returns the node before n, or nil at the front.
+func (n *Node[T]) Prev() *Node[T] { return n.prev }

@@ -1,0 +1,136 @@
+package ds
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func contents[T any](l *List[T]) []T {
+	var out []T
+	for n := l.Front(); n != nil; n = n.Next() {
+		out = append(out, n.Val)
+	}
+	return out
+}
+
+func reverseContents[T any](l *List[T]) []T {
+	var out []T
+	for n := l.Back(); n != nil; n = n.Prev() {
+		out = append(out, n.Val)
+	}
+	return out
+}
+
+func TestPushBackFront(t *testing.T) {
+	var l List[int]
+	if l.Len() != 0 || l.Front() != nil || l.Back() != nil {
+		t.Fatal("zero list not empty")
+	}
+	l.PushBack(2)
+	l.PushBack(3)
+	l.PushFront(1)
+	got := contents(&l)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("contents = %v", got)
+	}
+	rev := reverseContents(&l)
+	if rev[0] != 3 || rev[2] != 1 {
+		t.Fatalf("reverse = %v", rev)
+	}
+	if l.Front().Val != 1 || l.Back().Val != 3 {
+		t.Fatal("Front/Back wrong")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	var l List[int]
+	a := l.PushBack(1)
+	b := l.PushBack(2)
+	c := l.PushBack(3)
+	l.Remove(b) // middle
+	if got := contents(&l); len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("after middle remove: %v", got)
+	}
+	l.Remove(a) // head
+	if got := contents(&l); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("after head remove: %v", got)
+	}
+	l.Remove(c) // tail and last
+	if l.Len() != 0 || l.Front() != nil || l.Back() != nil {
+		t.Fatal("list not empty after removing all")
+	}
+}
+
+func TestMoveToBack(t *testing.T) {
+	var l List[int]
+	a := l.PushBack(1)
+	l.PushBack(2)
+	l.PushBack(3)
+	l.MoveToBack(a)
+	if got := contents(&l); got[0] != 2 || got[1] != 3 || got[2] != 1 {
+		t.Fatalf("after MoveToBack(head): %v", got)
+	}
+	// Moving the tail is a no-op.
+	tail := l.Back()
+	l.MoveToBack(tail)
+	if got := contents(&l); got[2] != 1 || l.Len() != 3 {
+		t.Fatalf("after MoveToBack(tail): %v", got)
+	}
+}
+
+func TestPopFront(t *testing.T) {
+	var l List[string]
+	l.PushBack("a")
+	l.PushBack("b")
+	if got := l.PopFront(); got != "a" {
+		t.Fatalf("PopFront = %q", got)
+	}
+	if got := l.PopFront(); got != "b" || l.Len() != 0 {
+		t.Fatalf("PopFront = %q, len %d", got, l.Len())
+	}
+}
+
+// TestAgainstSliceModel cross-checks the list against a slice reference
+// under random operations.
+func TestAgainstSliceModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	var l List[int]
+	var model []int
+	nodes := map[int]*Node[int]{}
+	next := 0
+	for step := 0; step < 5000; step++ {
+		switch op := rng.Intn(4); {
+		case op == 0 || l.Len() == 0: // push back
+			v := next
+			next++
+			nodes[v] = l.PushBack(v)
+			model = append(model, v)
+		case op == 1: // push front
+			v := next
+			next++
+			nodes[v] = l.PushFront(v)
+			model = append([]int{v}, model...)
+		case op == 2: // remove random
+			idx := rng.Intn(len(model))
+			v := model[idx]
+			l.Remove(nodes[v])
+			delete(nodes, v)
+			model = append(model[:idx:idx], model[idx+1:]...)
+		default: // move random to back
+			idx := rng.Intn(len(model))
+			v := model[idx]
+			l.MoveToBack(nodes[v])
+			model = append(model[:idx:idx], model[idx+1:]...)
+			model = append(model, v)
+		}
+		if l.Len() != len(model) {
+			t.Fatalf("step %d: len %d != %d", step, l.Len(), len(model))
+		}
+	}
+	got := contents(&l)
+	for i := range model {
+		if got[i] != model[i] {
+			t.Fatalf("diverged at %d: %v vs %v", i, got[:i+1], model[:i+1])
+		}
+	}
+}

@@ -1,0 +1,205 @@
+// Package experiments defines the paper's evaluation artefacts — Figure
+// 8 (hit ratio), Figure 9 (disk reads), Figure 10 (response time),
+// Figure 11 (reconstruction time), Table IV (FBF overhead) and Table V
+// (maximum improvements) — as parameterized sweeps over the
+// reconstruction engine, with text/CSV renderers that print the same
+// rows and series the paper reports.
+package experiments
+
+import (
+	"fmt"
+
+	"fbf/internal/codes"
+	"fbf/internal/core"
+	"fbf/internal/lrc"
+	"fbf/internal/rebuild"
+	"fbf/internal/trace"
+)
+
+// ResolveGeometry returns the code geometry for a sweep entry: the four
+// XOR-based 3DFT families by name, or "lrc" for the Azure
+// LRC(12,2,2) on p-1 rows (the Reed-Solomon-based counterpart of the
+// paper's footnote 3).
+func ResolveGeometry(name string, p int) (core.Geometry, error) {
+	if name == "lrc" {
+		rows := p - 1
+		if rows < 1 {
+			rows = 1
+		}
+		return lrc.New(12, 2, 2, rows)
+	}
+	return codes.New(name, p)
+}
+
+// Params configures a sweep. The zero value is unusable; start from
+// DefaultParams (the paper's configuration scaled to a workstation) and
+// override.
+type Params struct {
+	Codes        []string // code family names
+	Primes       []int    // prime parameter values
+	Policies     []string // cache policies to compare
+	CacheSizesMB []int    // total cache sizes in MB (the paper's x axes)
+
+	ChunkSizeKB int // paper: 32 KB
+	Workers     int // paper: 128 parallel recovery processes
+	Groups      int // partial stripe error groups per run
+	Stripes     int // stripes on the simulated array
+	Seed        int64
+	Strategy    core.Strategy
+	Dist        trace.SizeDist
+
+	// FastIO skips spare writes, which are identical across policies;
+	// hit-ratio and read-count sweeps run faster with it set.
+	FastIO bool
+	// ChargeSchemeGen folds measured scheme-generation wall time into
+	// the simulated clock (used by the Table IV runs).
+	ChargeSchemeGen bool
+}
+
+// DefaultParams returns the paper's evaluation configuration, with the
+// group count scaled down from a full 1 TB disk to a tractable run
+// (ratios and crossovers are scale invariant; raise Groups for
+// paper-scale runs).
+func DefaultParams() Params {
+	return Params{
+		Codes:        []string{"star", "triplestar", "tip", "hdd1"},
+		Primes:       []int{7, 11, 13},
+		Policies:     []string{"fifo", "lru", "lfu", "arc", "fbf"},
+		CacheSizesMB: []int{8, 16, 32, 64, 128, 256, 512, 1024, 2048},
+		ChunkSizeKB:  32,
+		Workers:      128,
+		Groups:       256,
+		Stripes:      1 << 14,
+		Seed:         1,
+		Strategy:     core.StrategyLooped,
+	}
+}
+
+// CacheChunks converts a cache size in MB to chunks.
+func (p Params) CacheChunks(sizeMB int) int {
+	return sizeMB * 1024 / p.ChunkSizeKB
+}
+
+// Point is one sweep measurement.
+type Point struct {
+	Code    string
+	P       int
+	Policy  string
+	CacheMB int
+	Result  *rebuild.Result
+}
+
+// Sweep runs the full cross product of codes, primes, policies and
+// cache sizes. The same seed gives every policy the same error trace
+// for a given (code, prime), so policies are directly comparable.
+func Sweep(p Params) ([]Point, error) {
+	var out []Point
+	for _, codeName := range p.Codes {
+		for _, prime := range p.Primes {
+			code, err := ResolveGeometry(codeName, prime)
+			if err != nil {
+				return nil, err
+			}
+			errors, err := trace.Generate(code, trace.Config{
+				Groups:  p.Groups,
+				Stripes: p.Stripes,
+				Seed:    p.Seed,
+				Disk:    -1,
+				Dist:    p.Dist,
+			})
+			if err != nil {
+				return nil, err
+			}
+			for _, policy := range p.Policies {
+				for _, sizeMB := range p.CacheSizesMB {
+					res, err := rebuild.Run(rebuild.Config{
+						Code:            code,
+						Policy:          policy,
+						Strategy:        p.Strategy,
+						Workers:         p.Workers,
+						CacheChunks:     p.CacheChunks(sizeMB),
+						ChunkSize:       p.ChunkSizeKB * 1024,
+						Stripes:         p.Stripes,
+						SkipSpareWrites: p.FastIO,
+						ChargeSchemeGen: p.ChargeSchemeGen,
+					}, errors)
+					if err != nil {
+						return nil, fmt.Errorf("experiments: %s(p=%d) %s %dMB: %w", codeName, prime, policy, sizeMB, err)
+					}
+					out = append(out, Point{Code: codeName, P: prime, Policy: policy, CacheMB: sizeMB, Result: res})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// Metric extracts a scalar from a result.
+type Metric struct {
+	Name   string
+	Unit   string
+	Better string // "higher" or "lower"
+	Value  func(*rebuild.Result) float64
+}
+
+// The four metrics of the paper's Section IV.
+var (
+	MetricHitRatio = Metric{
+		Name: "hit ratio", Unit: "", Better: "higher",
+		Value: func(r *rebuild.Result) float64 { return r.HitRatio() },
+	}
+	MetricDiskReads = Metric{
+		Name: "disk reads", Unit: "ops", Better: "lower",
+		Value: func(r *rebuild.Result) float64 { return float64(r.DiskReads) },
+	}
+	MetricResponse = Metric{
+		Name: "avg response time", Unit: "ms", Better: "lower",
+		Value: func(r *rebuild.Result) float64 { return r.AvgResponse().Milliseconds() },
+	}
+	MetricReconTime = Metric{
+		Name: "reconstruction time", Unit: "ms", Better: "lower",
+		Value: func(r *rebuild.Result) float64 { return r.Makespan.Milliseconds() },
+	}
+)
+
+// Panel is one sub-plot of a figure: a (code, prime) pair with one
+// series per policy over the cache-size axis.
+type Panel struct {
+	Code   string
+	P      int
+	Sizes  []int                // MB, the x axis
+	Series map[string][]float64 // policy -> y values aligned with Sizes
+}
+
+// Figure is a reproduced paper figure.
+type Figure struct {
+	ID     string
+	Title  string
+	Metric Metric
+	Panels []Panel
+}
+
+// BuildFigure groups sweep points into panels for the given metric.
+func BuildFigure(id, title string, metric Metric, points []Point, params Params) *Figure {
+	fig := &Figure{ID: id, Title: title, Metric: metric}
+	type key struct {
+		code string
+		p    int
+	}
+	index := map[key]*Panel{}
+	var order []key
+	for _, pt := range points {
+		k := key{pt.Code, pt.P}
+		panel, ok := index[k]
+		if !ok {
+			panel = &Panel{Code: pt.Code, P: pt.P, Sizes: params.CacheSizesMB, Series: map[string][]float64{}}
+			index[k] = panel
+			order = append(order, k)
+		}
+		panel.Series[pt.Policy] = append(panel.Series[pt.Policy], metric.Value(pt.Result))
+	}
+	for _, k := range order {
+		fig.Panels = append(fig.Panels, *index[k])
+	}
+	return fig
+}

@@ -1,0 +1,239 @@
+package experiments
+
+import (
+	"time"
+
+	"fbf/internal/core"
+	"fbf/internal/rebuild"
+	"fbf/internal/stats"
+	"fbf/internal/trace"
+)
+
+// Fig8 reproduces Figure 8: cache hit ratio during partial stripe
+// reconstruction across erasure codes and primes, as a function of
+// cache size.
+func Fig8(p Params) (*Figure, error) {
+	p.FastIO = true // spare writes do not affect hit ratio
+	points, err := Sweep(p)
+	if err != nil {
+		return nil, err
+	}
+	return BuildFigure("fig8", "Cache Hit Ratio During Partial Stripe Reconstruction", MetricHitRatio, points, p), nil
+}
+
+// Fig9 reproduces Figure 9: number of disk read operations during
+// recovery, TIP-code with P in {5, 7, 11, 13}.
+func Fig9(p Params) (*Figure, error) {
+	p.Codes = []string{"tip"}
+	if len(p.Primes) == 0 {
+		p.Primes = []int{5, 7, 11, 13}
+	}
+	p.FastIO = true
+	points, err := Sweep(p)
+	if err != nil {
+		return nil, err
+	}
+	return BuildFigure("fig9", "Read Operations During Partial Stripe Reconstruction (TIP)", MetricDiskReads, points, p), nil
+}
+
+// Fig10 reproduces Figure 10: average response time of the disk array
+// during recovery, across codes and primes.
+func Fig10(p Params) (*Figure, error) {
+	points, err := Sweep(p)
+	if err != nil {
+		return nil, err
+	}
+	return BuildFigure("fig10", "Average Response Time of Partial Stripe Reconstruction", MetricResponse, points, p), nil
+}
+
+// Fig11 reproduces Figure 11: total partial stripe reconstruction time,
+// TIP-code with P in {5, 7, 11, 13}.
+func Fig11(p Params) (*Figure, error) {
+	p.Codes = []string{"tip"}
+	if len(p.Primes) == 0 {
+		p.Primes = []int{5, 7, 11, 13}
+	}
+	points, err := Sweep(p)
+	if err != nil {
+		return nil, err
+	}
+	return BuildFigure("fig11", "Partial Stripe Reconstruction Time (TIP)", MetricReconTime, points, p), nil
+}
+
+// OverheadRow is one cell group of Table IV: FBF's temporal overhead for
+// one (code, prime).
+type OverheadRow struct {
+	Code     string
+	P        int
+	Overhead time.Duration // mean scheme-generation wall time per group
+	Percent  float64       // overhead as % of per-group reconstruction time
+}
+
+// Table4 reproduces Table IV: the temporal overhead of FBF's priority
+// generation, measured as real wall time of scheme generation, compared
+// against the simulated per-group reconstruction time.
+func Table4(p Params) ([]OverheadRow, error) {
+	if len(p.Primes) == 0 {
+		p.Primes = []int{5, 7, 11, 13}
+	}
+	var rows []OverheadRow
+	for _, prime := range p.Primes {
+		for _, codeName := range p.Codes {
+			code, err := ResolveGeometry(codeName, prime)
+			if err != nil {
+				return nil, err
+			}
+			errors, err := trace.Generate(code, trace.Config{
+				Groups: p.Groups, Stripes: p.Stripes, Seed: p.Seed, Disk: -1, Dist: p.Dist,
+			})
+			if err != nil {
+				return nil, err
+			}
+			res, err := rebuild.Run(rebuild.Config{
+				Code: code, Policy: "fbf", Strategy: p.Strategy,
+				Workers: p.Workers, CacheChunks: p.CacheChunks(256),
+				ChunkSize: p.ChunkSizeKB * 1024, Stripes: p.Stripes,
+			}, errors)
+			if err != nil {
+				return nil, err
+			}
+			// Per-group reconstruction time: total busy reconstruction
+			// spread over the groups. With W workers running in parallel,
+			// aggregate reconstruction work ≈ makespan * effective workers.
+			workers := p.Workers
+			if workers > res.Groups {
+				workers = res.Groups
+			}
+			perGroupMs := res.Makespan.Milliseconds() * float64(workers) / float64(res.Groups)
+			overheadMs := float64(res.AvgSchemeGen().Nanoseconds()) / 1e6
+			pct := 0.0
+			if perGroupMs > 0 {
+				pct = overheadMs / perGroupMs * 100
+			}
+			rows = append(rows, OverheadRow{Code: codeName, P: prime, Overhead: res.AvgSchemeGen(), Percent: pct})
+		}
+	}
+	return rows, nil
+}
+
+// Improvement is one cell of Table V: FBF's best improvement over one
+// baseline policy on one metric, across the whole sweep.
+type Improvement struct {
+	Metric   string
+	Baseline string
+	Percent  float64 // paper convention: hit ratio as gain %, others as reduction %
+	At       Point   // the sweep point where the maximum was attained
+}
+
+// Table5 reproduces Table V: the maximum improvement of FBF over each
+// classic policy on the four metrics, scanned over the full sweep.
+// Points are grouped by (code, prime, cache size); FBF is compared to
+// each baseline within a group.
+func Table5(points []Point) []Improvement {
+	type key struct {
+		code    string
+		p       int
+		cacheMB int
+	}
+	groups := map[key]map[string]*rebuild.Result{}
+	var fbfPoints []Point
+	for _, pt := range points {
+		k := key{pt.Code, pt.P, pt.CacheMB}
+		if groups[k] == nil {
+			groups[k] = map[string]*rebuild.Result{}
+		}
+		groups[k][pt.Policy] = pt.Result
+		if pt.Policy == "fbf" {
+			fbfPoints = append(fbfPoints, pt)
+		}
+	}
+	metrics := []Metric{MetricHitRatio, MetricDiskReads, MetricResponse, MetricReconTime}
+	best := map[string]map[string]*Improvement{} // metric -> baseline -> best
+	for _, m := range metrics {
+		best[m.Name] = map[string]*Improvement{}
+	}
+	for _, fp := range fbfPoints {
+		k := key{fp.Code, fp.P, fp.CacheMB}
+		for baseline, baseRes := range groups[k] {
+			if baseline == "fbf" {
+				continue
+			}
+			for _, m := range metrics {
+				baseVal := m.Value(baseRes)
+				fbfVal := m.Value(fp.Result)
+				var pct float64
+				if m.Better == "higher" {
+					pct = stats.Gain(baseVal, fbfVal) * 100
+				} else {
+					pct = stats.Improvement(baseVal, fbfVal) * 100
+				}
+				cur := best[m.Name][baseline]
+				if cur == nil || pct > cur.Percent {
+					best[m.Name][baseline] = &Improvement{Metric: m.Name, Baseline: baseline, Percent: pct, At: fp}
+				}
+			}
+		}
+	}
+	var out []Improvement
+	for _, m := range metrics {
+		for _, baseline := range []string{"fifo", "lru", "lfu", "arc"} {
+			if imp := best[m.Name][baseline]; imp != nil {
+				out = append(out, *imp)
+			}
+		}
+	}
+	return out
+}
+
+// SchemeComparison is one row of the scheme ablation (the design choice
+// behind Figure 2): unique chunk reads under each chain-selection
+// strategy.
+type SchemeComparison struct {
+	Code               string
+	P                  int
+	Typical            float64 // mean unique fetches per group
+	Looped             float64
+	Greedy             float64
+	LoopedSavingPct    float64 // vs typical
+	GreedyExtraSavePct float64 // vs looped
+}
+
+// SchemeAblation quantifies how much read I/O the FBF chain-selection
+// (looping) saves over typical horizontal-only recovery, and what the
+// greedy upper bound adds.
+func SchemeAblation(p Params) ([]SchemeComparison, error) {
+	var out []SchemeComparison
+	for _, codeName := range p.Codes {
+		for _, prime := range p.Primes {
+			code, err := ResolveGeometry(codeName, prime)
+			if err != nil {
+				return nil, err
+			}
+			errors, err := trace.Generate(code, trace.Config{
+				Groups: p.Groups, Stripes: p.Stripes, Seed: p.Seed, Disk: -1, Dist: p.Dist,
+			})
+			if err != nil {
+				return nil, err
+			}
+			means := map[core.Strategy]float64{}
+			for _, strategy := range []core.Strategy{core.StrategyTypical, core.StrategyLooped, core.StrategyGreedy} {
+				total := 0
+				for _, e := range errors {
+					s, err := core.GenerateScheme(code, e, strategy)
+					if err != nil {
+						return nil, err
+					}
+					total += s.UniqueFetches()
+				}
+				means[strategy] = float64(total) / float64(len(errors))
+			}
+			out = append(out, SchemeComparison{
+				Code: codeName, P: prime,
+				Typical: means[core.StrategyTypical], Looped: means[core.StrategyLooped], Greedy: means[core.StrategyGreedy],
+				LoopedSavingPct:    stats.Improvement(means[core.StrategyTypical], means[core.StrategyLooped]) * 100,
+				GreedyExtraSavePct: stats.Improvement(means[core.StrategyLooped], means[core.StrategyGreedy]) * 100,
+			})
+		}
+	}
+	return out, nil
+}

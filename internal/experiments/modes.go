@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"fbf/internal/rebuild"
+	"fbf/internal/trace"
+)
+
+// ModeRow compares stripe-oriented and disk-oriented reconstruction for
+// one (code, prime, policy).
+type ModeRow struct {
+	Code   string
+	P      int
+	Policy string
+
+	SORMs  float64 // SOR reconstruction time
+	DORMs  float64 // DOR reconstruction time
+	SORHit float64
+	DORHit float64
+}
+
+// ModeComparison runs the SOR-vs-DOR ablation (Section III-B of the
+// paper) at a fixed representative cache size (64 MB total).
+func ModeComparison(p Params) ([]ModeRow, error) {
+	var rows []ModeRow
+	for _, codeName := range p.Codes {
+		for _, prime := range p.Primes {
+			code, err := ResolveGeometry(codeName, prime)
+			if err != nil {
+				return nil, err
+			}
+			errors, err := trace.Generate(code, trace.Config{
+				Groups: p.Groups, Stripes: p.Stripes, Seed: p.Seed, Disk: -1, Dist: p.Dist,
+			})
+			if err != nil {
+				return nil, err
+			}
+			for _, policy := range p.Policies {
+				base := rebuild.Config{
+					Code: code, Policy: policy, Strategy: p.Strategy,
+					Workers: p.Workers, CacheChunks: p.CacheChunks(64),
+					ChunkSize: p.ChunkSizeKB * 1024, Stripes: p.Stripes,
+				}
+				sor, err := rebuild.Run(base, errors)
+				if err != nil {
+					return nil, err
+				}
+				dorCfg := base
+				dorCfg.Mode = rebuild.ModeDOR
+				dor, err := rebuild.Run(dorCfg, errors)
+				if err != nil {
+					return nil, err
+				}
+				rows = append(rows, ModeRow{
+					Code: codeName, P: prime, Policy: policy,
+					SORMs: sor.Makespan.Milliseconds(), DORMs: dor.Makespan.Milliseconds(),
+					SORHit: sor.HitRatio(), DORHit: dor.HitRatio(),
+				})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// RenderModes prints the SOR-vs-DOR table.
+func RenderModes(w io.Writer, rows []ModeRow) error {
+	if _, err := fmt.Fprintln(w, "== ABLATION: Stripe-Oriented vs Disk-Oriented Reconstruction =="); err != nil {
+		return err
+	}
+	table := [][]string{{"code", "p", "policy", "sor(ms)", "dor(ms)", "sor-hit", "dor-hit"}}
+	for _, r := range rows {
+		table = append(table, []string{
+			r.Code,
+			fmt.Sprintf("%d", r.P),
+			r.Policy,
+			fmt.Sprintf("%.2f", r.SORMs),
+			fmt.Sprintf("%.2f", r.DORMs),
+			fmt.Sprintf("%.4f", r.SORHit),
+			fmt.Sprintf("%.4f", r.DORHit),
+		})
+	}
+	return renderAligned(w, table)
+}

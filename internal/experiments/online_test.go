@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"fbf/internal/rebuild"
+	"fbf/internal/sim"
+)
+
+func TestOnlineRecoveryExperiment(t *testing.T) {
+	p := smallParams()
+	p.Policies = []string{"lru", "fbf"}
+	rows, err := OnlineRecovery(p, rebuild.AppWorkload{
+		Requests:     200,
+		Interarrival: 200 * sim.Microsecond,
+		Seed:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.QuietRecoveryMs <= 0 || r.LoadedRecoveryMs <= 0 {
+			t.Errorf("%s: missing recovery times %+v", r.Policy, r)
+		}
+		if r.LoadedRecoveryMs < r.QuietRecoveryMs {
+			t.Errorf("%s: load sped recovery up", r.Policy)
+		}
+		if r.SlowdownPct < 0 {
+			t.Errorf("%s: negative slowdown %.2f", r.Policy, r.SlowdownPct)
+		}
+		if r.AppAvgMs <= 0 {
+			t.Errorf("%s: missing app response time", r.Policy)
+		}
+	}
+	// FBF still finishes first under load.
+	var lru, fbf OnlineRow
+	for _, r := range rows {
+		switch r.Policy {
+		case "lru":
+			lru = r
+		case "fbf":
+			fbf = r
+		}
+	}
+	if fbf.LoadedRecoveryMs > lru.LoadedRecoveryMs {
+		t.Errorf("FBF loaded recovery %.2f > LRU %.2f", fbf.LoadedRecoveryMs, lru.LoadedRecoveryMs)
+	}
+
+	var buf bytes.Buffer
+	if err := RenderOnline(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"ONLINE RECOVERY", "quiet(ms)", "loaded(ms)", "fbf"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestOnlineRecoveryDefaults(t *testing.T) {
+	// Zero-valued workload fields get the documented defaults; the run
+	// must still complete.
+	p := smallParams()
+	p.Policies = []string{"lru"}
+	p.Groups = 8
+	rows, err := OnlineRecovery(p, rebuild.AppWorkload{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestOnlineRecoveryBadCode(t *testing.T) {
+	p := smallParams()
+	p.Codes = []string{"bogus"}
+	if _, err := OnlineRecovery(p, rebuild.AppWorkload{}); err == nil {
+		t.Error("bogus code accepted")
+	}
+}
+
+func TestModeComparisonExperiment(t *testing.T) {
+	p := smallParams()
+	p.Policies = []string{"lru", "fbf"}
+	rows, err := ModeComparison(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.SORMs <= 0 || r.DORMs <= 0 {
+			t.Errorf("%s: missing makespans %+v", r.Policy, r)
+		}
+		if r.SORHit < 0 || r.SORHit > 1 || r.DORHit < 0 || r.DORHit > 1 {
+			t.Errorf("%s: hit ratios out of range %+v", r.Policy, r)
+		}
+	}
+	// DOR's shared cache sees every request: its hit ratio is policy
+	// independent at this ample size and at least SOR-LRU's.
+	var lru ModeRow
+	for _, r := range rows {
+		if r.Policy == "lru" {
+			lru = r
+		}
+	}
+	if lru.DORHit < lru.SORHit {
+		t.Errorf("DOR shared cache (%.4f) below SOR partitions (%.4f) for LRU", lru.DORHit, lru.SORHit)
+	}
+
+	var buf bytes.Buffer
+	if err := RenderModes(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Disk-Oriented", "sor(ms)", "dor(ms)"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestModeComparisonBadCode(t *testing.T) {
+	p := smallParams()
+	p.Codes = []string{"bogus"}
+	if _, err := ModeComparison(p); err == nil {
+		t.Error("bogus code accepted")
+	}
+}

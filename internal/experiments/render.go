@@ -1,0 +1,208 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// RenderFigure prints a figure as one aligned text table per panel:
+// rows are cache sizes, columns are policies — the same series the
+// paper plots.
+func RenderFigure(w io.Writer, fig *Figure, policies []string) error {
+	unit := ""
+	if fig.Metric.Unit != "" {
+		unit = " (" + fig.Metric.Unit + ")"
+	}
+	if _, err := fmt.Fprintf(w, "== %s: %s%s ==\n", strings.ToUpper(fig.ID), fig.Title, unit); err != nil {
+		return err
+	}
+	for _, panel := range fig.Panels {
+		if _, err := fmt.Fprintf(w, "\n-- %s (P=%d) --\n", panel.Code, panel.P); err != nil {
+			return err
+		}
+		cols := policies
+		if len(cols) == 0 {
+			for policy := range panel.Series {
+				cols = append(cols, policy)
+			}
+			sort.Strings(cols)
+		}
+		header := []string{"cache(MB)"}
+		header = append(header, cols...)
+		rows := [][]string{header}
+		for i, size := range panel.Sizes {
+			row := []string{fmt.Sprintf("%d", size)}
+			for _, policy := range cols {
+				series := panel.Series[policy]
+				if i < len(series) {
+					row = append(row, formatValue(fig.Metric, series[i]))
+				} else {
+					row = append(row, "-")
+				}
+			}
+			rows = append(rows, row)
+		}
+		if err := renderAligned(w, rows); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func formatValue(m Metric, v float64) string {
+	switch m.Name {
+	case MetricHitRatio.Name:
+		return fmt.Sprintf("%.4f", v)
+	case MetricDiskReads.Name:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+// RenderFigureCSV prints a figure as CSV with columns
+// code,p,cache_mb,policy,value.
+func RenderFigureCSV(w io.Writer, fig *Figure) error {
+	if _, err := fmt.Fprintln(w, "code,p,cache_mb,policy,"+strings.ReplaceAll(fig.Metric.Name, " ", "_")); err != nil {
+		return err
+	}
+	for _, panel := range fig.Panels {
+		var policies []string
+		for policy := range panel.Series {
+			policies = append(policies, policy)
+		}
+		sort.Strings(policies)
+		for _, policy := range policies {
+			for i, v := range panel.Series[policy] {
+				if i >= len(panel.Sizes) {
+					break
+				}
+				if _, err := fmt.Fprintf(w, "%s,%d,%d,%s,%g\n", panel.Code, panel.P, panel.Sizes[i], policy, v); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// RenderTable4 prints Table IV in the paper's layout: one block per
+// prime, overhead and percentage per code.
+func RenderTable4(w io.Writer, rows []OverheadRow, codes []string) error {
+	if _, err := fmt.Fprintln(w, "== TABLE IV: Overhead of FBF During Partial Stripe Recovery =="); err != nil {
+		return err
+	}
+	byPrime := map[int]map[string]OverheadRow{}
+	var primes []int
+	for _, r := range rows {
+		if byPrime[r.P] == nil {
+			byPrime[r.P] = map[string]OverheadRow{}
+			primes = append(primes, r.P)
+		}
+		byPrime[r.P][r.Code] = r
+	}
+	sort.Ints(primes)
+	for _, prime := range primes {
+		if _, err := fmt.Fprintf(w, "\nP = %d\n", prime); err != nil {
+			return err
+		}
+		header := append([]string{"metric"}, codes...)
+		over := []string{"temporal overhead(ms)"}
+		pct := []string{"percentage(%)"}
+		for _, code := range codes {
+			r := byPrime[prime][code]
+			over = append(over, fmt.Sprintf("%.4f", float64(r.Overhead.Nanoseconds())/1e6))
+			pct = append(pct, fmt.Sprintf("%.4f", r.Percent))
+		}
+		if err := renderAligned(w, [][]string{header, over, pct}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderTable5 prints Table V: maximum improvement of FBF over each
+// baseline policy per metric.
+func RenderTable5(w io.Writer, imps []Improvement) error {
+	if _, err := fmt.Fprintln(w, "== TABLE V: Maximum Improvement of FBF Over Other Cache Policies =="); err != nil {
+		return err
+	}
+	baselines := []string{"fifo", "lru", "lfu", "arc"}
+	byMetric := map[string]map[string]Improvement{}
+	var order []string
+	for _, imp := range imps {
+		if byMetric[imp.Metric] == nil {
+			byMetric[imp.Metric] = map[string]Improvement{}
+			order = append(order, imp.Metric)
+		}
+		byMetric[imp.Metric][imp.Baseline] = imp
+	}
+	rows := [][]string{append([]string{"metric"}, baselines...)}
+	for _, metric := range order {
+		row := []string{metric}
+		for _, b := range baselines {
+			imp, ok := byMetric[metric][b]
+			if !ok {
+				row = append(row, "-")
+				continue
+			}
+			row = append(row, fmt.Sprintf("%.2f%%", imp.Percent))
+		}
+		rows = append(rows, row)
+	}
+	return renderAligned(w, rows)
+}
+
+// RenderSchemeAblation prints the chain-selection ablation table.
+func RenderSchemeAblation(w io.Writer, rows []SchemeComparison) error {
+	if _, err := fmt.Fprintln(w, "== ABLATION: Unique Chunk Reads per Error Group by Scheme Strategy =="); err != nil {
+		return err
+	}
+	table := [][]string{{"code", "p", "typical", "looped", "greedy", "looped saves", "greedy adds"}}
+	for _, r := range rows {
+		table = append(table, []string{
+			r.Code,
+			fmt.Sprintf("%d", r.P),
+			fmt.Sprintf("%.2f", r.Typical),
+			fmt.Sprintf("%.2f", r.Looped),
+			fmt.Sprintf("%.2f", r.Greedy),
+			fmt.Sprintf("%.2f%%", r.LoopedSavingPct),
+			fmt.Sprintf("%.2f%%", r.GreedyExtraSavePct),
+		})
+	}
+	return renderAligned(w, table)
+}
+
+// renderAligned prints rows with columns padded to equal width.
+func renderAligned(w io.Writer, rows [][]string) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	widths := make([]int, 0)
+	for _, row := range rows {
+		for i, cell := range row {
+			if i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		var sb strings.Builder
+		for i, cell := range row {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(cell)
+			sb.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+		}
+		if _, err := fmt.Fprintln(w, strings.TrimRight(sb.String(), " ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

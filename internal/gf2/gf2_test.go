@@ -1,0 +1,346 @@
+package gf2
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatrixGetSetFlip(t *testing.T) {
+	m := NewMatrix(3, 130) // spans three words per row
+	if m.Rows() != 3 || m.Cols() != 130 {
+		t.Fatalf("dims = %dx%d", m.Rows(), m.Cols())
+	}
+	m.Set(1, 0, true)
+	m.Set(1, 64, true)
+	m.Set(1, 129, true)
+	if !m.Get(1, 0) || !m.Get(1, 64) || !m.Get(1, 129) {
+		t.Error("Set/Get failed across word boundaries")
+	}
+	if m.Get(0, 0) || m.Get(2, 129) {
+		t.Error("unexpected set bits")
+	}
+	m.Flip(1, 64)
+	if m.Get(1, 64) {
+		t.Error("Flip did not clear")
+	}
+	m.Set(1, 0, false)
+	if m.Get(1, 0) {
+		t.Error("Set(false) did not clear")
+	}
+	if got := m.RowWeight(1); got != 1 {
+		t.Errorf("RowWeight = %d, want 1", got)
+	}
+}
+
+func TestMatrixOutOfRangePanics(t *testing.T) {
+	m := NewMatrix(2, 2)
+	for _, f := range []func(){
+		func() { m.Get(2, 0) },
+		func() { m.Get(0, 2) },
+		func() { m.Set(-1, 0, true) },
+		func() { m.Flip(0, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("want panic on out-of-range access")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestXORRowsAndSwap(t *testing.T) {
+	m := NewMatrix(2, 70)
+	m.Set(0, 3, true)
+	m.Set(0, 69, true)
+	m.Set(1, 3, true)
+	m.XORRows(1, 0)
+	if m.Get(1, 3) || !m.Get(1, 69) {
+		t.Error("XORRows wrong")
+	}
+	m.SwapRows(0, 1)
+	if m.Get(0, 3) || !m.Get(0, 69) || !m.Get(1, 3) {
+		t.Error("SwapRows wrong")
+	}
+	m.SwapRows(1, 1) // no-op must not corrupt
+	if !m.Get(1, 3) {
+		t.Error("self-swap corrupted row")
+	}
+}
+
+func TestXORRowsSelfPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic for XORRows(dst==src)")
+		}
+	}()
+	NewMatrix(2, 2).XORRows(1, 1)
+}
+
+func TestEliminateIdentity(t *testing.T) {
+	m := NewMatrix(3, 3)
+	for i := 0; i < 3; i++ {
+		m.Set(i, i, true)
+	}
+	pivots := m.Eliminate(3)
+	if len(pivots) != 3 {
+		t.Errorf("rank = %d, want 3", len(pivots))
+	}
+}
+
+func TestEliminateDependentRows(t *testing.T) {
+	// Row2 = Row0 XOR Row1 → rank 2.
+	m := NewMatrix(3, 4)
+	m.Set(0, 0, true)
+	m.Set(0, 2, true)
+	m.Set(1, 1, true)
+	m.Set(1, 2, true)
+	m.Set(2, 0, true)
+	m.Set(2, 1, true)
+	if got := m.Rank(4); got != 2 {
+		t.Errorf("Rank = %d, want 2", got)
+	}
+}
+
+func TestEliminateRestrictedColumns(t *testing.T) {
+	// Pivots only among the first 2 columns even though column 3 has bits.
+	m := NewMatrix(2, 3)
+	m.Set(0, 0, true)
+	m.Set(0, 2, true)
+	m.Set(1, 2, true)
+	pivots := m.Eliminate(2)
+	if len(pivots) != 1 || pivots[0] != 0 {
+		t.Errorf("pivots = %v, want [0]", pivots)
+	}
+}
+
+func TestRankBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		rows := 1 + rng.Intn(8)
+		cols := 1 + rng.Intn(80)
+		m := NewMatrix(rows, cols)
+		for r := 0; r < rows; r++ {
+			for c := 0; c < cols; c++ {
+				if rng.Intn(2) == 1 {
+					m.Set(r, c, true)
+				}
+			}
+		}
+		rank := m.Rank(cols)
+		if rank > rows || rank > cols {
+			t.Fatalf("rank %d exceeds dims %dx%d", rank, rows, cols)
+		}
+		// Rank is invariant under row XOR of distinct rows.
+		if rows >= 2 {
+			m2 := m.Clone()
+			m2.XORRows(0, 1)
+			if got := m2.Rank(cols); got != rank {
+				t.Fatalf("rank changed by row op: %d -> %d", rank, got)
+			}
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := NewMatrix(1, 1)
+	c := m.Clone()
+	c.Set(0, 0, true)
+	if m.Get(0, 0) {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestFirstSet(t *testing.T) {
+	m := NewMatrix(1, 130)
+	m.Set(0, 5, true)
+	m.Set(0, 128, true)
+	if got := m.firstSet(0, 0); got != 5 {
+		t.Errorf("firstSet(0) = %d, want 5", got)
+	}
+	if got := m.firstSet(0, 6); got != 128 {
+		t.Errorf("firstSet(6) = %d, want 128", got)
+	}
+	if got := m.firstSet(0, 129); got != -1 {
+		t.Errorf("firstSet(129) = %d, want -1", got)
+	}
+	if got := m.firstSet(0, 200); got != -1 {
+		t.Errorf("firstSet(200) = %d, want -1", got)
+	}
+}
+
+func TestSystemSolveSimple(t *testing.T) {
+	// x0 ^ x1 ^ x2 = 0, with x1 unknown → x1 = x0 ^ x2.
+	s := NewSystem(3)
+	s.AddEquation([]int{0, 1, 2})
+	sol, unsolved := s.Solve([]int{1})
+	if len(unsolved) != 0 {
+		t.Fatalf("unsolved = %v", unsolved)
+	}
+	terms := sol.Terms[1]
+	if len(terms) != 2 {
+		t.Fatalf("terms = %v", terms)
+	}
+	seen := map[int]bool{terms[0]: true, terms[1]: true}
+	if !seen[0] || !seen[2] {
+		t.Errorf("terms = %v, want {0,2}", terms)
+	}
+}
+
+func TestSystemSolveChained(t *testing.T) {
+	// eq1: x0^x1^x2 = 0; eq2: x2^x3 = 0. Unknowns {x1, x2}:
+	// x2 = x3, x1 = x0 ^ x2 = x0 ^ x3.
+	s := NewSystem(4)
+	s.AddEquation([]int{0, 1, 2})
+	s.AddEquation([]int{2, 3})
+	sol, unsolved := s.Solve([]int{1, 2})
+	if len(unsolved) != 0 {
+		t.Fatalf("unsolved = %v", unsolved)
+	}
+	if got := sol.Terms[2]; len(got) != 1 || got[0] != 3 {
+		t.Errorf("x2 terms = %v, want [3]", got)
+	}
+	x1 := map[int]int{}
+	for _, term := range sol.Terms[1] {
+		x1[term]++
+	}
+	if x1[0]%2 != 1 || x1[3]%2 != 1 {
+		t.Errorf("x1 terms = %v, want odd counts of 0 and 3", sol.Terms[1])
+	}
+}
+
+func TestSystemUnsolvable(t *testing.T) {
+	// Two unknowns, one equation → underdetermined.
+	s := NewSystem(3)
+	s.AddEquation([]int{0, 1, 2})
+	_, unsolved := s.Solve([]int{0, 1})
+	if len(unsolved) != 2 {
+		t.Fatalf("unsolved = %v, want both", unsolved)
+	}
+	if s.Solvable([]int{0, 1}) {
+		t.Error("Solvable should be false")
+	}
+	if !s.Solvable([]int{2}) {
+		t.Error("single unknown should be solvable")
+	}
+}
+
+func TestSystemRepeatedSymbolCancels(t *testing.T) {
+	// x0 ^ x0 ^ x1 = 0 → x1 = 0 (empty term list).
+	s := NewSystem(2)
+	s.AddEquation([]int{0, 0, 1})
+	sol, unsolved := s.Solve([]int{1})
+	if len(unsolved) != 0 {
+		t.Fatalf("unsolved = %v", unsolved)
+	}
+	if got := sol.Terms[1]; len(got) != 0 {
+		t.Errorf("terms = %v, want empty (identically zero)", got)
+	}
+}
+
+func TestSystemPanics(t *testing.T) {
+	s := NewSystem(2)
+	for _, f := range []func(){
+		func() { s.AddEquation([]int{2}) },
+		func() { s.AddEquation([]int{-1}) },
+		func() { s.Solve([]int{5}) },
+		func() { s.Solve([]int{0, 0}) },
+		func() { NewSystem(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("want panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestSolveRoundTrip generates random linear systems from a known ground
+// truth assignment and verifies that solved expressions reproduce the
+// ground truth values.
+func TestSolveRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 4 + rng.Intn(20)
+		values := make([]uint8, n)
+		for i := range values {
+			values[i] = uint8(rng.Intn(256))
+		}
+		s := NewSystem(n)
+		// Equations of the form: XOR of a random subset plus a correction
+		// symbol chosen so the equation holds. We append an extra symbol
+		// whose value we overwrite to make the XOR zero.
+		eqs := 3 + rng.Intn(8)
+		for e := 0; e < eqs; e++ {
+			size := 2 + rng.Intn(5)
+			var syms []int
+			var acc uint8
+			for k := 0; k < size; k++ {
+				sym := rng.Intn(n - 1) // keep symbol n-1 as correction slot
+				syms = append(syms, sym)
+				acc ^= values[sym]
+			}
+			// Correct with a dedicated fresh ground-truth pair: tweak the
+			// last symbol list by adding symbols until XOR is zero is
+			// impossible in general, so instead define the equation to
+			// include a virtual correction: use symbol n-1 only if needed
+			// by adjusting its value once (first equation wins).
+			if e == 0 {
+				values[n-1] = acc
+				syms = append(syms, n-1)
+			} else {
+				// Make the equation self-consistent: duplicate symbols to
+				// cancel, then re-add a pair whose XOR equals acc... the
+				// simplest valid equation is subset ∪ subset (cancels to
+				// zero); use that for structural variety.
+				syms = append(syms, syms...)
+			}
+			s.AddEquation(syms)
+		}
+		// Choose unknowns among symbols and check solved terms evaluate
+		// to the ground truth.
+		u := rng.Intn(n)
+		sol, unsolved := s.Solve([]int{u})
+		if len(unsolved) > 0 {
+			continue // underdetermined is fine; nothing to verify
+		}
+		var acc uint8
+		for _, term := range sol.Terms[u] {
+			acc ^= values[term]
+		}
+		if acc != values[u] {
+			t.Fatalf("trial %d: solved value %d != ground truth %d", trial, acc, values[u])
+		}
+	}
+}
+
+func TestSolvableQuickProperty(t *testing.T) {
+	// Property: adding equations never makes a solvable set unsolvable.
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(10)
+		s := NewSystem(n)
+		for e := 0; e < 4; e++ {
+			size := 2 + rng.Intn(4)
+			syms := make([]int, size)
+			for k := range syms {
+				syms[k] = rng.Intn(n)
+			}
+			s.AddEquation(syms)
+		}
+		u := []int{rng.Intn(n)}
+		before := s.Solvable(u)
+		s.AddEquation([]int{rng.Intn(n), rng.Intn(n)})
+		after := s.Solvable(u)
+		return !before || after
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,236 @@
+package gf256
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFieldAxioms(t *testing.T) {
+	err := quick.Check(func(a, b, c byte) bool {
+		// Commutativity and associativity of Mul, distributivity over Add.
+		if Mul(a, b) != Mul(b, a) {
+			return false
+		}
+		if Mul(Mul(a, b), c) != Mul(a, Mul(b, c)) {
+			return false
+		}
+		if Mul(a, Add(b, c)) != Add(Mul(a, b), Mul(a, c)) {
+			return false
+		}
+		return true
+	}, &quick.Config{MaxCount: 500})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulIdentityAndZero(t *testing.T) {
+	for a := 0; a < 256; a++ {
+		if Mul(byte(a), 1) != byte(a) || Mul(byte(a), 0) != 0 {
+			t.Fatalf("identity/zero broken at %d", a)
+		}
+	}
+}
+
+func TestInvDiv(t *testing.T) {
+	for a := 1; a < 256; a++ {
+		if Mul(byte(a), Inv(byte(a))) != 1 {
+			t.Fatalf("Inv(%d) wrong", a)
+		}
+		if Div(byte(a), byte(a)) != 1 {
+			t.Fatalf("Div(%d,%d) != 1", a, a)
+		}
+	}
+	if Div(0, 7) != 0 {
+		t.Error("0/x != 0")
+	}
+}
+
+func TestDivByZeroPanics(t *testing.T) {
+	for _, f := range []func(){func() { Div(1, 0) }, func() { Inv(0) }} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("want panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestExpGeneratorOrder(t *testing.T) {
+	if Exp(0) != 1 || Exp(255) != 1 {
+		t.Error("generator order wrong")
+	}
+	if Exp(-1) != Exp(254) {
+		t.Error("negative exponent wrong")
+	}
+	seen := map[byte]bool{}
+	for i := 0; i < 255; i++ {
+		seen[Exp(i)] = true
+	}
+	if len(seen) != 255 {
+		t.Errorf("generator hits %d elements, want 255", len(seen))
+	}
+}
+
+func TestMulSlice(t *testing.T) {
+	src := []byte{1, 2, 3, 0, 255}
+	dst := make([]byte, 5)
+	MulSlice(7, dst, src)
+	for i := range src {
+		if dst[i] != Mul(7, src[i]) {
+			t.Fatalf("MulSlice[%d] = %d, want %d", i, dst[i], Mul(7, src[i]))
+		}
+	}
+	// c == 1 fast path is plain XOR.
+	dst2 := make([]byte, 5)
+	MulSlice(1, dst2, src)
+	for i := range src {
+		if dst2[i] != src[i] {
+			t.Fatal("MulSlice(1) wrong")
+		}
+	}
+	// c == 0 is a no-op.
+	MulSlice(0, dst2, src)
+	for i := range src {
+		if dst2[i] != src[i] {
+			t.Fatal("MulSlice(0) mutated dst")
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("length mismatch should panic")
+			}
+		}()
+		MulSlice(3, dst, src[:2])
+	}()
+}
+
+func TestMatrixEliminateIdentity(t *testing.T) {
+	m := NewMatrix(3, 3)
+	for i := 0; i < 3; i++ {
+		m.Set(i, i, byte(i+5))
+	}
+	pivots := m.Eliminate(3)
+	if len(pivots) != 3 {
+		t.Errorf("rank %d", len(pivots))
+	}
+	for i := 0; i < 3; i++ {
+		if m.At(i, i) != 1 {
+			t.Error("pivot not normalized")
+		}
+	}
+}
+
+func TestMatrixRankVandermonde(t *testing.T) {
+	// Vandermonde over distinct points has full rank.
+	n := 5
+	m := NewMatrix(n, n)
+	for r := 0; r < n; r++ {
+		x := Exp(r)
+		v := byte(1)
+		for c := 0; c < n; c++ {
+			m.Set(r, c, v)
+			v = Mul(v, x)
+		}
+	}
+	if got := m.Rank(n); got != n {
+		t.Errorf("Vandermonde rank = %d, want %d", got, n)
+	}
+}
+
+func TestSystemSolveWeighted(t *testing.T) {
+	// 3*x0 + 5*x1 = 0 with x0 unknown → x0 = (5/3) * x1.
+	s := NewSystem(2)
+	s.AddEquation([]Term{{3, 0}, {5, 1}})
+	sol, unsolved := s.Solve([]int{0})
+	if len(unsolved) != 0 {
+		t.Fatalf("unsolved %v", unsolved)
+	}
+	terms := sol.Terms[0]
+	if len(terms) != 1 || terms[0].Symbol != 1 || terms[0].Coeff != Div(5, 3) {
+		t.Errorf("terms = %v, want coeff %d", terms, Div(5, 3))
+	}
+}
+
+func TestSystemRoundTrip(t *testing.T) {
+	// Build random consistent systems from ground-truth values; check
+	// solved expressions evaluate back to the ground truth.
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 200; trial++ {
+		n := 4 + rng.Intn(12)
+		values := make([]byte, n)
+		for i := range values {
+			values[i] = byte(rng.Intn(256))
+		}
+		s := NewSystem(n)
+		for e := 0; e < 3+rng.Intn(6); e++ {
+			size := 2 + rng.Intn(4)
+			var terms []Term
+			var acc byte
+			for k := 0; k < size; k++ {
+				tm := Term{Coeff: byte(1 + rng.Intn(255)), Symbol: rng.Intn(n - 1)}
+				terms = append(terms, tm)
+				acc ^= Mul(tm.Coeff, values[tm.Symbol])
+			}
+			// Balance the equation with the correction symbol n-1.
+			if acc != 0 {
+				c := byte(1 + rng.Intn(255))
+				if values[n-1] == 0 {
+					values[n-1] = 1
+				}
+				// coefficient * values[n-1] must equal acc:
+				c = Div(acc, values[n-1])
+				terms = append(terms, Term{Coeff: c, Symbol: n - 1})
+			}
+			s.AddEquation(terms)
+		}
+		u := rng.Intn(n)
+		sol, unsolved := s.Solve([]int{u})
+		if len(unsolved) > 0 {
+			continue
+		}
+		var acc byte
+		for _, tm := range sol.Terms[u] {
+			acc ^= Mul(tm.Coeff, values[tm.Symbol])
+		}
+		if acc != values[u] {
+			t.Fatalf("trial %d: solved %d != truth %d", trial, acc, values[u])
+		}
+	}
+}
+
+func TestSystemUnderdetermined(t *testing.T) {
+	s := NewSystem(3)
+	s.AddEquation([]Term{{1, 0}, {1, 1}, {1, 2}})
+	if s.Solvable([]int{0, 1}) {
+		t.Error("two unknowns, one equation should be unsolvable")
+	}
+	if !s.Solvable([]int{2}) {
+		t.Error("single unknown should be solvable")
+	}
+}
+
+func TestSystemPanics(t *testing.T) {
+	s := NewSystem(1)
+	for _, f := range []func(){
+		func() { s.AddEquation([]Term{{1, 5}}) },
+		func() { s.Solve([]int{5}) },
+		func() { s.Solve([]int{0, 0}) },
+		func() { NewSystem(-1) },
+		func() { NewMatrix(-1, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("want panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

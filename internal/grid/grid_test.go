@@ -1,0 +1,183 @@
+package grid
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCoordString(t *testing.T) {
+	c := Coord{Row: 4, Col: 7}
+	if got, want := c.String(), "C(4,7)"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestCoordLess(t *testing.T) {
+	cases := []struct {
+		a, b Coord
+		want bool
+	}{
+		{Coord{0, 0}, Coord{0, 1}, true},
+		{Coord{0, 1}, Coord{0, 0}, false},
+		{Coord{0, 5}, Coord{1, 0}, true},
+		{Coord{1, 0}, Coord{0, 5}, false},
+		{Coord{2, 2}, Coord{2, 2}, false},
+	}
+	for _, c := range cases {
+		if got := c.a.Less(c.b); got != c.want {
+			t.Errorf("%v.Less(%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCoordLessTotalOrder(t *testing.T) {
+	// Less must be a strict total order: exactly one of a<b, b<a, a==b.
+	err := quick.Check(func(r1, c1, r2, c2 uint8) bool {
+		a := Coord{Row: int(r1), Col: int(c1)}
+		b := Coord{Row: int(r2), Col: int(c2)}
+		ab, ba := a.Less(b), b.Less(a)
+		if a == b {
+			return !ab && !ba
+		}
+		return ab != ba
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChainKindString(t *testing.T) {
+	if Horizontal.String() != "horizontal" || Diagonal.String() != "diagonal" || AntiDiagonal.String() != "anti-diagonal" {
+		t.Error("unexpected kind names")
+	}
+	if ChainKind(9).String() != "ChainKind(9)" {
+		t.Errorf("invalid kind String() = %q", ChainKind(9).String())
+	}
+	if ChainKind(3).Valid() {
+		t.Error("ChainKind(3) should be invalid")
+	}
+	if got := Kinds(); len(got) != 3 || got[0] != Horizontal || got[1] != Diagonal || got[2] != AntiDiagonal {
+		t.Errorf("Kinds() = %v", got)
+	}
+}
+
+func TestChainContainsAndSurvivors(t *testing.T) {
+	ch := Chain{Kind: Horizontal, Index: 0, Cells: []Coord{{0, 0}, {0, 1}, {0, 2}}}
+	if !ch.Contains(Coord{0, 1}) || ch.Contains(Coord{1, 1}) {
+		t.Error("Contains wrong")
+	}
+	surv := ch.Survivors(map[Coord]bool{{0, 1}: true})
+	if len(surv) != 2 || surv[0] != (Coord{0, 0}) || surv[1] != (Coord{0, 2}) {
+		t.Errorf("Survivors = %v", surv)
+	}
+}
+
+func TestChainString(t *testing.T) {
+	ch := Chain{Kind: Diagonal, Index: 2, Cells: []Coord{{0, 0}, {1, 1}}}
+	if got, want := ch.String(), "diagonal#2{C(0,0) C(1,1)}"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func validLayout(t *testing.T) *Layout {
+	t.Helper()
+	l, err := NewLayout(2, 3,
+		[]Coord{{0, 2}, {1, 2}},
+		[]Chain{
+			{Kind: Horizontal, Index: 0, Cells: []Coord{{0, 0}, {0, 1}, {0, 2}}},
+			{Kind: Horizontal, Index: 1, Cells: []Coord{{1, 0}, {1, 1}, {1, 2}}},
+			{Kind: Diagonal, Index: 0, Cells: []Coord{{0, 0}, {1, 1}}},
+		})
+	if err != nil {
+		t.Fatalf("NewLayout: %v", err)
+	}
+	return l
+}
+
+func TestLayoutAccessors(t *testing.T) {
+	l := validLayout(t)
+	if l.Rows() != 2 || l.Cols() != 3 || l.Cells() != 6 {
+		t.Errorf("dims = %d x %d (%d cells)", l.Rows(), l.Cols(), l.Cells())
+	}
+	if !l.IsParity(Coord{0, 2}) || l.IsParity(Coord{0, 0}) {
+		t.Error("IsParity wrong")
+	}
+	if got := l.ParityCells(); len(got) != 2 || got[0] != (Coord{0, 2}) || got[1] != (Coord{1, 2}) {
+		t.Errorf("ParityCells = %v", got)
+	}
+	if got := l.DataCells(); len(got) != 4 || got[0] != (Coord{0, 0}) || got[3] != (Coord{1, 1}) {
+		t.Errorf("DataCells = %v", got)
+	}
+	if !l.InBounds(Coord{1, 2}) || l.InBounds(Coord{2, 0}) || l.InBounds(Coord{0, -1}) {
+		t.Error("InBounds wrong")
+	}
+	if got := l.ColumnCells(1); len(got) != 2 || got[0] != (Coord{0, 1}) || got[1] != (Coord{1, 1}) {
+		t.Errorf("ColumnCells = %v", got)
+	}
+}
+
+func TestLayoutChainLookup(t *testing.T) {
+	l := validLayout(t)
+	if len(l.Chains()) != 3 {
+		t.Fatalf("Chains len = %d", len(l.Chains()))
+	}
+	ch, ok := l.Chain(ChainID{Kind: Diagonal, Index: 0})
+	if !ok || len(ch.Cells) != 2 {
+		t.Fatalf("Chain lookup failed: %v %v", ch, ok)
+	}
+	if _, ok := l.Chain(ChainID{Kind: AntiDiagonal, Index: 0}); ok {
+		t.Error("found nonexistent chain")
+	}
+
+	through := l.ChainsThrough(Coord{0, 0})
+	if len(through) != 2 || through[0].Kind != Horizontal || through[1].Kind != Diagonal {
+		t.Errorf("ChainsThrough = %v", through)
+	}
+	if got := l.ChainsThrough(Coord{1, 0}); len(got) != 1 {
+		t.Errorf("ChainsThrough(1,0) = %v", got)
+	}
+
+	d, ok := l.ChainThrough(Coord{1, 1}, Diagonal)
+	if !ok || d.Index != 0 {
+		t.Errorf("ChainThrough diagonal = %v %v", d, ok)
+	}
+	if _, ok := l.ChainThrough(Coord{1, 0}, Diagonal); ok {
+		t.Error("ChainThrough found chain that should not exist")
+	}
+}
+
+func TestNewLayoutErrors(t *testing.T) {
+	h0 := Chain{Kind: Horizontal, Index: 0, Cells: []Coord{{0, 0}}}
+	cases := []struct {
+		name   string
+		rows   int
+		cols   int
+		parity []Coord
+		chains []Chain
+	}{
+		{"zero rows", 0, 3, nil, nil},
+		{"negative cols", 2, -1, nil, nil},
+		{"parity out of bounds", 2, 2, []Coord{{5, 0}}, nil},
+		{"duplicate parity", 2, 2, []Coord{{0, 0}, {0, 0}}, nil},
+		{"chain cell out of bounds", 2, 2, nil, []Chain{{Kind: Horizontal, Index: 0, Cells: []Coord{{9, 9}}}}},
+		{"duplicate chain id", 2, 2, nil, []Chain{h0, h0}},
+		{"invalid kind", 2, 2, nil, []Chain{{Kind: ChainKind(7), Index: 0, Cells: []Coord{{0, 0}}}}},
+		{"repeated cell in chain", 2, 2, nil, []Chain{{Kind: Horizontal, Index: 0, Cells: []Coord{{0, 0}, {0, 0}}}}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := NewLayout(c.rows, c.cols, c.parity, c.chains); err == nil {
+				t.Error("want error, got nil")
+			}
+		})
+	}
+}
+
+func TestMustLayoutPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustLayout did not panic on invalid layout")
+		}
+	}()
+	MustLayout(0, 0, nil, nil)
+}

@@ -1,0 +1,92 @@
+package rebuild
+
+import (
+	"testing"
+
+	"fbf/internal/codes"
+	"fbf/internal/core"
+	"fbf/internal/sim"
+)
+
+func TestStaggeredArrivalStretchesMakespan(t *testing.T) {
+	code := codes.MustNew("tip", 7)
+	errors := genErrors(t, code, 20, 100, 51)
+	base := Config{
+		Code: code, Policy: "fbf", Strategy: core.StrategyLooped,
+		Workers: 8, CacheChunks: 64, Stripes: 100,
+	}
+	immediate, err := Run(base, errors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	staggered := base
+	staggered.ErrorInterarrival = 500 * sim.Millisecond
+	slow, err := Run(staggered, errors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The last group arrives at 19 * 500 ms; recovery cannot end before.
+	if slow.Makespan < 19*500*sim.Millisecond {
+		t.Errorf("makespan %v earlier than last arrival", slow.Makespan)
+	}
+	if slow.Makespan <= immediate.Makespan {
+		t.Errorf("staggered arrival did not stretch makespan: %v <= %v", slow.Makespan, immediate.Makespan)
+	}
+	// Work content is identical: same reads, writes, requests.
+	if slow.DiskReads == 0 || slow.DiskWrites != immediate.DiskWrites || slow.TotalRequests != immediate.TotalRequests {
+		t.Errorf("staggered arrival changed work: %+v vs %+v", slow, immediate)
+	}
+}
+
+func TestStaggeredArrivalAllGroupsProcessed(t *testing.T) {
+	code := codes.MustNew("star", 5)
+	errors := genErrors(t, code, 12, 60, 52)
+	res, err := Run(Config{
+		Code: code, Policy: "lru", Strategy: core.StrategyLooped,
+		Workers: 3, CacheChunks: 16, Stripes: 60,
+		ErrorInterarrival: 2 * sim.Millisecond,
+	}, errors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lost uint64
+	for _, e := range errors {
+		lost += uint64(e.Size)
+	}
+	if res.DiskWrites != lost {
+		t.Errorf("wrote %d spare chunks, want %d (groups dropped?)", res.DiskWrites, lost)
+	}
+}
+
+func TestStaggeredArrivalDeterministic(t *testing.T) {
+	code := codes.MustNew("hdd1", 5)
+	errors := genErrors(t, code, 10, 50, 53)
+	cfg := Config{
+		Code: code, Policy: "fbf", Strategy: core.StrategyLooped,
+		Workers: 4, CacheChunks: 32, Stripes: 50,
+		ErrorInterarrival: 7 * sim.Millisecond,
+	}
+	a, err := Run(cfg, errors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg, errors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan || a.Cache != b.Cache {
+		t.Error("staggered arrival not deterministic")
+	}
+}
+
+func TestDORRejectsStaggeredArrival(t *testing.T) {
+	code := codes.MustNew("tip", 5)
+	_, err := Run(Config{
+		Code: code, Policy: "lru", Mode: ModeDOR,
+		Workers: 1, CacheChunks: 8, Stripes: 10,
+		ErrorInterarrival: sim.Millisecond,
+	}, []core.PartialStripeError{{Stripe: 0, Disk: 0, Row: 0, Size: 1}})
+	if err == nil {
+		t.Error("DOR with staggered arrival accepted")
+	}
+}

@@ -1,0 +1,145 @@
+package rebuild
+
+import (
+	"testing"
+
+	"fbf/internal/codes"
+	"fbf/internal/core"
+	"fbf/internal/sim"
+)
+
+func TestOnlineRecoveryAppMetrics(t *testing.T) {
+	code := codes.MustNew("tip", 7)
+	errors := genErrors(t, code, 20, 100, 21)
+	res, err := Run(Config{
+		Code: code, Policy: "fbf", Strategy: core.StrategyLooped,
+		Workers: 4, CacheChunks: 64, Stripes: 100,
+		App: &AppWorkload{Requests: 200, Interarrival: sim.Millisecond, Seed: 1},
+	}, errors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AppRequests != 200 {
+		t.Errorf("AppRequests = %d", res.AppRequests)
+	}
+	if res.AppAvgResponse() <= 0 {
+		t.Error("app response time missing")
+	}
+	if res.AppHitRatio() < 0 || res.AppHitRatio() > 1 {
+		t.Errorf("app hit ratio %f", res.AppHitRatio())
+	}
+	// Recovery cache stats must exclude the app stream.
+	if res.Cache.Requests() != res.TotalRequests {
+		t.Errorf("recovery stats polluted: %d != %d", res.Cache.Requests(), res.TotalRequests)
+	}
+	// Disk reads = recovery misses + app misses.
+	appMisses := res.AppRequests - res.AppHits
+	if res.DiskReads != res.Cache.Misses+appMisses {
+		t.Errorf("DiskReads %d != recovery misses %d + app misses %d", res.DiskReads, res.Cache.Misses, appMisses)
+	}
+}
+
+func TestOnlineRecoverySlowsReconstruction(t *testing.T) {
+	code := codes.MustNew("tip", 7)
+	errors := genErrors(t, code, 30, 150, 22)
+	base := Config{
+		Code: code, Policy: "lru", Strategy: core.StrategyLooped,
+		Workers: 4, CacheChunks: 64, Stripes: 150,
+	}
+	quiet, err := Run(base, errors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	busy := base
+	// A heavy foreground stream: a request every 100 us.
+	busy.App = &AppWorkload{Requests: 3000, Interarrival: 100 * sim.Microsecond, Seed: 2}
+	loaded, err := Run(busy, errors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Makespan <= quiet.Makespan {
+		t.Errorf("foreground load did not slow recovery: %v <= %v", loaded.Makespan, quiet.Makespan)
+	}
+}
+
+func TestOnlineRecoveryZipfSkewRaisesAppHits(t *testing.T) {
+	code := codes.MustNew("tip", 7)
+	errors := genErrors(t, code, 10, 2000, 23)
+	run := func(zipfS float64) *Result {
+		res, err := Run(Config{
+			Code: code, Policy: "lru", Strategy: core.StrategyLooped,
+			Workers: 2, CacheChunks: 512, Stripes: 2000,
+			App: &AppWorkload{Requests: 4000, Interarrival: 50 * sim.Microsecond, Seed: 3, ZipfS: zipfS},
+		}, errors)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	uniform := run(0)
+	skewed := run(2.5)
+	if skewed.AppHits <= uniform.AppHits {
+		t.Errorf("zipf app stream should self-hit more: %d <= %d", skewed.AppHits, uniform.AppHits)
+	}
+}
+
+func TestOnlineRecoveryDeterministic(t *testing.T) {
+	code := codes.MustNew("star", 5)
+	errors := genErrors(t, code, 10, 50, 24)
+	cfg := Config{
+		Code: code, Policy: "fbf", Strategy: core.StrategyLooped,
+		Workers: 2, CacheChunks: 32, Stripes: 50,
+		App: &AppWorkload{Requests: 500, Interarrival: 200 * sim.Microsecond, Seed: 4},
+	}
+	a, err := Run(cfg, errors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg, errors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.AppHits != b.AppHits || a.AppSumResponse != b.AppSumResponse || a.Makespan != b.Makespan {
+		t.Error("online recovery not deterministic")
+	}
+}
+
+func TestVerifyDataChecksEveryLostChunk(t *testing.T) {
+	for _, name := range codes.Names() {
+		code := codes.MustNew(name, 7)
+		errors := genErrors(t, code, 12, 60, 25)
+		res, err := Run(Config{
+			Code: code, Policy: "fbf", Strategy: core.StrategyLooped,
+			Workers: 3, CacheChunks: 32, Stripes: 60,
+			ChunkSize: 512, VerifyData: true,
+		}, errors)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var lost uint64
+		for _, e := range errors {
+			lost += uint64(e.Size)
+		}
+		if res.VerifiedChunks != lost {
+			t.Errorf("%s: verified %d chunks, want %d", name, res.VerifiedChunks, lost)
+		}
+	}
+}
+
+func TestVerifyDataAllStrategies(t *testing.T) {
+	code := codes.MustNew("star", 5)
+	errors := genErrors(t, code, 8, 40, 26)
+	for _, strategy := range []core.Strategy{core.StrategyTypical, core.StrategyLooped, core.StrategyGreedy} {
+		res, err := Run(Config{
+			Code: code, Policy: "lru", Strategy: strategy,
+			Workers: 2, CacheChunks: 16, Stripes: 40,
+			ChunkSize: 256, VerifyData: true,
+		}, errors)
+		if err != nil {
+			t.Fatalf("%v: %v", strategy, err)
+		}
+		if res.VerifiedChunks == 0 {
+			t.Errorf("%v: nothing verified", strategy)
+		}
+	}
+}

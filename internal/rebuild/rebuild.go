@@ -1,0 +1,607 @@
+// Package rebuild runs partial-stripe reconstruction over the simulated
+// disk array: it replays each error group's recovery scheme through a
+// buffer cache, issues disk reads for misses, models XOR compute and
+// spare-chunk writes, and collects the four metrics of the paper's
+// evaluation (hit ratio, disk reads, response time, reconstruction
+// time).
+//
+// The engine implements the paper's SOR-style parallel reconstruction:
+// N workers each own a partition of the cache and repair one stripe's
+// error group at a time; within a group, the chunk requests of one
+// parity chain are looked up sequentially in the worker's cache (0.5 ms
+// per access in the paper's configuration) with misses fetched from the
+// array concurrently, then the chain XOR is computed and the recovered
+// chunk written to the failed disk's spare area.
+package rebuild
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"fbf/internal/cache"
+	"fbf/internal/chunk"
+	"fbf/internal/core"
+	"fbf/internal/disk"
+	"fbf/internal/grid"
+	"fbf/internal/sim"
+	"fbf/internal/stats"
+)
+
+// Config parameterizes one reconstruction run.
+type Config struct {
+	Code     core.Geometry
+	Policy   string        // cache policy registry name ("fbf", "lru", ...)
+	Strategy core.Strategy // recovery-scheme generation strategy
+
+	Mode        Mode // SOR (default) or DOR parallelization
+	Workers     int  // parallel reconstruction processes (the paper uses 128)
+	CacheChunks int  // total cache capacity in chunks, split across workers
+	ChunkSize   int  // bytes per chunk (the paper uses 32 KB)
+	Stripes     int  // stripes on the array
+
+	CacheAccess sim.Time // buffer access time (paper: 0.5 ms)
+	XORPerChunk sim.Time // compute cost per chunk XORed into an accumulator
+
+	// SkipSpareWrites drops the spare-write phase (hit-ratio-only runs
+	// are much faster without them and the writes are policy-invariant).
+	SkipSpareWrites bool
+
+	// ModelFor overrides the per-disk service model (nil → the paper's
+	// fixed 10 ms model).
+	ModelFor func(i int) disk.Model
+
+	// Scheduler selects every disk's queue discipline (FIFO, SSTF or
+	// LOOK); the paper's DiskSim default corresponds to FIFO here.
+	Scheduler disk.Scheduler
+
+	// ResponseHistogramMs, when non-empty, collects a histogram of
+	// per-request response times with the given bucket bounds (ms).
+	ResponseHistogramMs []float64
+
+	// ChargeSchemeGen adds the measured wall time of recovery-scheme
+	// generation to the simulated clock, making the FBF overhead of
+	// Table IV visible in reconstruction time.
+	ChargeSchemeGen bool
+
+	// App, when non-nil, issues a foreground application read workload
+	// during reconstruction ("online recovery", Section V of the paper):
+	// the requests share the workers' cache partitions and contend for
+	// the disks, so recovery slows the application and vice versa.
+	App *AppWorkload
+
+	// VerifyData makes the engine carry real chunk contents: each error
+	// group's stripe is materialized and encoded, every selected chain
+	// is XOR-verified to rebuild the lost chunk's bytes, and a mismatch
+	// fails the run. Slower; meant for integrity tests.
+	VerifyData bool
+
+	// ErrorInterarrival staggers error detection: group i becomes known
+	// at time i * ErrorInterarrival, modeling the paper's Figure 4
+	// narrative where partial stripe errors are detected by proactive
+	// scrubbing or on access, rather than all being known at time zero.
+	// Zero means every group is available immediately.
+	ErrorInterarrival sim.Time
+}
+
+// AppWorkload parameterizes the foreground read stream of an online
+// recovery run.
+type AppWorkload struct {
+	Requests     int      // total application reads to issue
+	Interarrival sim.Time // gap between arrivals (default 1 ms)
+	Seed         int64
+	ZipfS        float64 // stripe-popularity skew; <= 1 means uniform
+
+	// ErrorLocality is the probability that a request targets a stripe
+	// with a partial stripe error — modeling the spatial locality the
+	// paper cites (application traffic near failing regions). Such
+	// requests probe the cache partition of the worker repairing that
+	// stripe, so chunks the cache held for recovery can serve them.
+	ErrorLocality float64
+}
+
+// Defaults fills unset fields with the paper's configuration.
+func (c *Config) Defaults() {
+	if c.Workers == 0 {
+		c.Workers = 128
+	}
+	if c.ChunkSize == 0 {
+		c.ChunkSize = 32 * 1024
+	}
+	if c.CacheAccess == 0 {
+		c.CacheAccess = sim.Millisecond / 2
+	}
+	if c.XORPerChunk == 0 {
+		// ~32 KB XOR at ~10 GB/s plus controller overhead.
+		c.XORPerChunk = 10 * sim.Microsecond
+	}
+	if c.Stripes == 0 {
+		c.Stripes = 1 << 16
+	}
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if c.Code == nil {
+		return fmt.Errorf("rebuild: nil code")
+	}
+	if _, err := cache.New(c.Policy, 0); err != nil {
+		return err
+	}
+	if c.Workers <= 0 {
+		return fmt.Errorf("rebuild: non-positive workers %d", c.Workers)
+	}
+	if c.CacheChunks < 0 {
+		return fmt.Errorf("rebuild: negative cache size %d", c.CacheChunks)
+	}
+	if c.ChunkSize <= 0 {
+		return fmt.Errorf("rebuild: non-positive chunk size %d", c.ChunkSize)
+	}
+	if c.Stripes <= 0 {
+		return fmt.Errorf("rebuild: non-positive stripe count %d", c.Stripes)
+	}
+	if c.CacheAccess < 0 || c.XORPerChunk < 0 {
+		return fmt.Errorf("rebuild: negative timing parameter")
+	}
+	if c.VerifyData {
+		if _, ok := c.Code.(core.Rebuilder); !ok {
+			return fmt.Errorf("rebuild: VerifyData requires a code implementing core.Rebuilder")
+		}
+	}
+	return nil
+}
+
+// Result aggregates one run's metrics.
+type Result struct {
+	Policy   string
+	Strategy core.Strategy
+
+	Cache      cache.Stats // summed over workers
+	DiskReads  uint64
+	DiskWrites uint64
+
+	Groups        int
+	TotalRequests uint64   // chunk requests replayed through caches
+	SumResponse   sim.Time // summed per-request response time
+	Makespan      sim.Time // total reconstruction time
+
+	SchemeGenWall time.Duration // wall time spent generating schemes
+	XORChunks     uint64        // chunks folded into XOR accumulators
+
+	// Online-recovery metrics (zero unless Config.App was set). The
+	// application requests share the workers' caches, so Cache above
+	// counts recovery requests only; AppHits/AppMisses count the
+	// foreground stream.
+	AppRequests    uint64
+	AppHits        uint64
+	AppSumResponse sim.Time
+
+	// VerifiedChunks counts lost chunks whose recovered contents were
+	// byte-verified (Config.VerifyData).
+	VerifiedChunks uint64
+
+	// PerDisk holds each disk's served-I/O counters, indexed by disk id;
+	// useful for load-balance analysis.
+	PerDisk []disk.Stats
+
+	// ResponseHist is the per-request response-time histogram when
+	// Config.ResponseHistogramMs was set (nil otherwise).
+	ResponseHist *stats.Histogram
+}
+
+// ReadBalance returns max/mean of per-disk read counts — 1.0 means
+// perfectly balanced recovery reads.
+func (r *Result) ReadBalance() float64 {
+	if len(r.PerDisk) == 0 {
+		return 0
+	}
+	var total, maxReads uint64
+	for _, d := range r.PerDisk {
+		total += d.Reads
+		if d.Reads > maxReads {
+			maxReads = d.Reads
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	mean := float64(total) / float64(len(r.PerDisk))
+	return float64(maxReads) / mean
+}
+
+// AppHitRatio returns the foreground workload's hit ratio.
+func (r *Result) AppHitRatio() float64 {
+	if r.AppRequests == 0 {
+		return 0
+	}
+	return float64(r.AppHits) / float64(r.AppRequests)
+}
+
+// AppAvgResponse returns the foreground workload's mean response time.
+func (r *Result) AppAvgResponse() sim.Time {
+	if r.AppRequests == 0 {
+		return 0
+	}
+	return sim.Time(int64(r.AppSumResponse) / int64(r.AppRequests))
+}
+
+// HitRatio returns the aggregated cache hit ratio.
+func (r *Result) HitRatio() float64 { return r.Cache.HitRatio() }
+
+// AvgResponse returns the mean response time per chunk request.
+func (r *Result) AvgResponse() sim.Time {
+	if r.TotalRequests == 0 {
+		return 0
+	}
+	return sim.Time(int64(r.SumResponse) / int64(r.TotalRequests))
+}
+
+// AvgSchemeGen returns the mean wall-clock scheme-generation time per
+// error group — the paper's Table IV "temporal overhead".
+func (r *Result) AvgSchemeGen() time.Duration {
+	if r.Groups == 0 {
+		return 0
+	}
+	return r.SchemeGenWall / time.Duration(r.Groups)
+}
+
+// Run executes a reconstruction of the given error groups and returns
+// the collected metrics.
+func Run(cfg Config, errors []core.PartialStripeError) (*Result, error) {
+	cfg.Defaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	for _, e := range errors {
+		if err := e.Validate(cfg.Code); err != nil {
+			return nil, err
+		}
+		if e.Stripe >= cfg.Stripes {
+			return nil, fmt.Errorf("rebuild: error %v beyond array stripes %d", e, cfg.Stripes)
+		}
+	}
+	if cfg.Mode == ModeDOR {
+		if cfg.App != nil || cfg.VerifyData || len(cfg.ResponseHistogramMs) > 0 || cfg.ErrorInterarrival > 0 {
+			return nil, fmt.Errorf("rebuild: DOR mode does not support App, VerifyData, response histograms or staggered error arrival")
+		}
+		return runDOR(cfg, errors)
+	}
+
+	s := sim.New()
+	array, err := disk.NewArray(s, disk.ArrayConfig{
+		Disks:     cfg.Code.Disks(),
+		Rows:      cfg.Code.Rows(),
+		Stripes:   cfg.Stripes,
+		ChunkSize: cfg.ChunkSize,
+		ModelFor:  cfg.ModelFor,
+		Scheduler: cfg.Scheduler,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	e := &engine{cfg: cfg, sim: s, array: array, groups: errors, stripeOwner: make(map[int]int)}
+	e.available = len(errors)
+	if cfg.ErrorInterarrival > 0 {
+		e.available = 0
+		for i := range errors {
+			s.ScheduleAt(sim.Time(i)*cfg.ErrorInterarrival, e.arriveGroup)
+		}
+	}
+	if len(cfg.ResponseHistogramMs) > 0 {
+		e.respHist, err = stats.NewHistogram(cfg.ResponseHistogramMs)
+		if err != nil {
+			return nil, err
+		}
+	}
+	workers := cfg.Workers
+	if workers > len(errors) && len(errors) > 0 {
+		workers = len(errors)
+	}
+	perWorker := 0
+	if workers > 0 {
+		perWorker = cfg.CacheChunks / cfg.Workers // partition by configured workers
+	}
+	for i := 0; i < workers; i++ {
+		policy, err := cache.New(cfg.Policy, perWorker)
+		if err != nil {
+			return nil, err
+		}
+		w := &worker{engine: e, id: i, cache: policy}
+		e.workers = append(e.workers, w)
+		s.Schedule(0, w.nextGroup)
+	}
+	if cfg.App != nil && len(e.workers) > 0 {
+		e.scheduleAppWorkload()
+	}
+	s.Run()
+	if e.verifyErr != nil {
+		return nil, e.verifyErr
+	}
+
+	res := &Result{
+		Policy:         cfg.Policy,
+		Strategy:       cfg.Strategy,
+		Groups:         len(errors),
+		TotalRequests:  e.totalRequests,
+		SumResponse:    e.sumResponse,
+		Makespan:       e.recoveryEnd,
+		SchemeGenWall:  e.schemeWall,
+		XORChunks:      e.xorChunks,
+		AppRequests:    e.appHits + e.appMisses,
+		AppHits:        e.appHits,
+		AppSumResponse: e.appSumResponse,
+		VerifiedChunks: e.verifiedChunks,
+	}
+	res.Cache.Hits = e.recHits
+	res.Cache.Misses = e.recMisses
+	for _, w := range e.workers {
+		res.Cache.Evictions += w.cache.Stats().Evictions
+	}
+	total := array.TotalStats()
+	res.DiskReads = total.Reads
+	res.DiskWrites = total.Writes
+	res.ResponseHist = e.respHist
+	for i := 0; i < array.Disks(); i++ {
+		res.PerDisk = append(res.PerDisk, array.Disk(i).Stats())
+	}
+	return res, nil
+}
+
+// engine holds the run-wide state shared by workers.
+type engine struct {
+	cfg    Config
+	sim    *sim.Simulator
+	array  *disk.Array
+	groups []core.PartialStripeError
+	next   int
+
+	workers       []*worker
+	available     int       // groups detected so far (= len(groups) unless staggered)
+	idle          []*worker // workers parked waiting for error arrivals
+	totalRequests uint64
+	sumResponse   sim.Time
+	schemeWall    time.Duration
+	xorChunks     uint64
+	recoveryEnd   sim.Time
+	recHits       uint64
+	recMisses     uint64
+
+	appHits        uint64
+	appMisses      uint64
+	appSumResponse sim.Time
+	stripeOwner    map[int]int // stripe -> worker id that repaired it
+
+	verifiedChunks uint64
+	verifyErr      error
+	respHist       *stats.Histogram
+}
+
+// arriveGroup makes one more error group available and wakes a parked
+// worker if any.
+func (e *engine) arriveGroup() {
+	e.available++
+	if len(e.idle) > 0 {
+		w := e.idle[len(e.idle)-1]
+		e.idle = e.idle[:len(e.idle)-1]
+		w.nextGroup()
+	}
+}
+
+// recordResponse accumulates one recovery request's response time.
+func (e *engine) recordResponse(t sim.Time) {
+	e.sumResponse += t
+	if e.respHist != nil {
+		e.respHist.Add(t.Milliseconds())
+	}
+}
+
+// worker repairs one error group at a time (stripe-oriented
+// reconstruction), owning a private cache partition.
+type worker struct {
+	engine *engine
+	id     int
+	cache  cache.Policy
+
+	scheme   *core.Scheme
+	chainIdx int
+	stripe   []chunk.Chunk // materialized contents when VerifyData is set
+}
+
+// scheduleAppWorkload arms the foreground read stream: requests arrive
+// at fixed intervals, target Zipf- or uniformly-distributed stripes,
+// probe the cache partition owning the stripe, and read from disk on a
+// miss.
+func (e *engine) scheduleAppWorkload() {
+	app := e.cfg.App
+	inter := app.Interarrival
+	if inter <= 0 {
+		inter = sim.Millisecond
+	}
+	rng := rand.New(rand.NewSource(app.Seed))
+	var zipf *rand.Zipf
+	if app.ZipfS > 1 {
+		zipf = rand.NewZipf(rng, app.ZipfS, 1, uint64(e.cfg.Stripes-1))
+	}
+	layout := e.cfg.Code.Layout()
+	for i := 0; i < app.Requests; i++ {
+		stripe := 0
+		if len(e.groups) > 0 && rng.Float64() < app.ErrorLocality {
+			stripe = e.groups[rng.Intn(len(e.groups))].Stripe
+		} else if zipf != nil {
+			stripe = int(zipf.Uint64())
+		} else {
+			stripe = rng.Intn(e.cfg.Stripes)
+		}
+		cell := grid.Coord{Row: rng.Intn(layout.Rows()), Col: rng.Intn(layout.Cols())}
+		at := sim.Time(i+1) * inter
+		e.sim.ScheduleAt(at, func() {
+			owner := e.workers[stripe%len(e.workers)]
+			if wid, ok := e.stripeOwner[stripe]; ok {
+				owner = e.workers[wid]
+			}
+			id := cache.ChunkID{Stripe: stripe, Cell: cell}
+			if owner.cache.Request(id) {
+				e.appHits++
+				e.appSumResponse += e.cfg.CacheAccess
+				return
+			}
+			e.appMisses++
+			err := e.array.ReadChunk(stripe, cell, func(issued, completed sim.Time) {
+				e.appSumResponse += e.cfg.CacheAccess + (completed - issued)
+			})
+			if err != nil {
+				panic(fmt.Sprintf("rebuild: app read failed: %v", err))
+			}
+		})
+	}
+}
+
+// materializeStripe deterministically fills and encodes the stripe an
+// error group lives on, so recovered chunks can be byte-verified.
+func (w *worker) materializeStripe(stripeIdx int) []chunk.Chunk {
+	rb := w.engine.cfg.Code.(core.Rebuilder) // checked in Run
+	return rb.MaterializeStripe(int64(stripeIdx)+0x5EED, w.engine.cfg.ChunkSize)
+}
+
+// verifyChain checks that rebuilding from the chain's other members
+// reproduces the lost chunk's contents.
+func (w *worker) verifyChain(sel core.SelectedChain) {
+	e := w.engine
+	rb := e.cfg.Code.(core.Rebuilder)
+	got, err := rb.RebuildChunk(sel.Chain, sel.Lost, w.stripe)
+	if err == nil && !got.Equal(w.stripe[core.CellIndex(rb.Layout(), sel.Lost)]) {
+		err = fmt.Errorf("rebuild: recovered chunk %v of %v does not match original contents", sel.Lost, w.scheme.Err)
+	}
+	if err != nil {
+		if e.verifyErr == nil {
+			e.verifyErr = err
+		}
+		return
+	}
+	e.verifiedChunks++
+}
+
+// nextGroup claims the next unprocessed error group and starts its
+// recovery; with none left the worker goes idle.
+func (w *worker) nextGroup() {
+	e := w.engine
+	if e.next >= len(e.groups) {
+		// This worker retires; the latest retirement time is the
+		// reconstruction makespan.
+		if e.sim.Now() > e.recoveryEnd {
+			e.recoveryEnd = e.sim.Now()
+		}
+		return
+	}
+	if e.next >= e.available {
+		// Detected errors are all being handled; park until the next
+		// arrival (staggered-detection mode).
+		e.idle = append(e.idle, w)
+		return
+	}
+	group := e.groups[e.next]
+	e.next++
+	e.stripeOwner[group.Stripe] = w.id
+	if e.cfg.VerifyData {
+		w.stripe = w.materializeStripe(group.Stripe)
+	}
+
+	start := time.Now()
+	scheme, err := core.GenerateScheme(e.cfg.Code, group, e.cfg.Strategy)
+	wall := time.Since(start)
+	e.schemeWall += wall
+	if err != nil {
+		// Validated upfront; a failure here is a bug worth surfacing.
+		panic(fmt.Sprintf("rebuild: scheme generation failed mid-run: %v", err))
+	}
+	w.scheme = scheme
+	w.chainIdx = 0
+	if pa, ok := w.cache.(cache.PriorityAware); ok {
+		pa.SetPriorities(scheme.PriorityIDs())
+	}
+	if fa, ok := w.cache.(cache.FutureAware); ok {
+		fa.SetFuture(scheme.RequestIDs())
+	}
+	if e.cfg.ChargeSchemeGen {
+		e.sim.Schedule(sim.Time(wall.Nanoseconds()), w.startChain)
+		return
+	}
+	w.startChain()
+}
+
+// startChain replays one selected chain: sequential cache lookups with
+// concurrent disk fetches for the misses, then XOR compute and the spare
+// write for the recovered chunk.
+func (w *worker) startChain() {
+	e := w.engine
+	if w.chainIdx >= len(w.scheme.Selected) {
+		w.scheme = nil
+		w.stripe = nil
+		w.nextGroup()
+		return
+	}
+	sel := w.scheme.Selected[w.chainIdx]
+	w.chainIdx++
+	stripe := w.scheme.Err.Stripe
+
+	outstanding := 1 // the lookup phase itself
+	var barrier func()
+	done := func() {
+		outstanding--
+		if outstanding == 0 {
+			barrier()
+		}
+	}
+	barrier = func() {
+		// XOR the fetched chunks, then write the recovered chunk to the
+		// failed disk's spare area.
+		e.xorChunks += uint64(len(sel.Fetch))
+		if e.cfg.VerifyData {
+			w.verifyChain(sel)
+		}
+		xor := e.cfg.XORPerChunk * sim.Time(len(sel.Fetch))
+		e.sim.Schedule(xor, func() {
+			if e.cfg.SkipSpareWrites {
+				w.startChain()
+				return
+			}
+			err := e.array.WriteSpare(w.scheme.Err.Disk, func(issued, completed sim.Time) {
+				w.startChain()
+			})
+			if err != nil {
+				panic(fmt.Sprintf("rebuild: spare write failed: %v", err))
+			}
+		})
+	}
+
+	// Sequential lookups: lookup i completes at (i+1) * CacheAccess from
+	// now. Policy calls happen in request order; a miss issues its disk
+	// read at its own lookup completion time.
+	now := e.sim.Now()
+	for i, cell := range sel.Fetch {
+		e.totalRequests++
+		id := cache.ChunkID{Stripe: stripe, Cell: cell}
+		hit := w.cache.Request(id)
+		lookupDone := now + sim.Time(i+1)*e.cfg.CacheAccess
+		if hit {
+			e.recHits++
+			e.recordResponse(e.cfg.CacheAccess)
+			continue
+		}
+		e.recMisses++
+		outstanding++
+		cell := cell
+		e.sim.ScheduleAt(lookupDone, func() {
+			err := e.array.ReadChunk(stripe, cell, func(issued, completed sim.Time) {
+				e.recordResponse(e.cfg.CacheAccess + (completed - issued))
+				done()
+			})
+			if err != nil {
+				panic(fmt.Sprintf("rebuild: read failed: %v", err))
+			}
+		})
+	}
+	// The lookup phase ends after the last sequential access.
+	e.sim.ScheduleAt(now+sim.Time(len(sel.Fetch))*e.cfg.CacheAccess, done)
+}

@@ -1,0 +1,130 @@
+// Package sim is a minimal deterministic discrete-event simulation
+// engine: a virtual clock plus an event heap. It is the substrate on
+// which the disk-array model (internal/disk) and the reconstruction
+// engines (internal/rebuild) run, replacing the DiskSim simulator used
+// by the paper.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is simulated time in nanoseconds since the start of the run.
+type Time int64
+
+// Common durations.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Milliseconds converts the time to floating-point milliseconds for
+// reporting.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// Seconds converts the time to floating-point seconds for reporting.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String renders the time in milliseconds.
+func (t Time) String() string { return fmt.Sprintf("%.3fms", t.Milliseconds()) }
+
+type event struct {
+	at  Time
+	seq uint64 // FIFO tie-break for simultaneous events
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = event{}
+	*h = old[:n-1]
+	return e
+}
+
+// Simulator owns the virtual clock and the pending event set. It is
+// single-threaded by design: determinism is what makes experiment
+// results reproducible across runs and platforms.
+type Simulator struct {
+	now     Time
+	seq     uint64
+	pending eventHeap
+	steps   uint64
+}
+
+// New returns a simulator with the clock at zero.
+func New() *Simulator { return &Simulator{} }
+
+// Now returns the current simulated time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Pending returns the number of scheduled events.
+func (s *Simulator) Pending() int { return len(s.pending) }
+
+// Steps returns the number of events executed so far.
+func (s *Simulator) Steps() uint64 { return s.steps }
+
+// Schedule runs fn after the given delay of simulated time. A negative
+// delay is an error in the caller; it panics to surface the bug.
+func (s *Simulator) Schedule(delay Time, fn func()) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	s.ScheduleAt(s.now+delay, fn)
+}
+
+// ScheduleAt runs fn at the given absolute simulated time, which must
+// not be in the past. Events scheduled for the same instant run in
+// scheduling order.
+func (s *Simulator) ScheduleAt(at Time, fn func()) {
+	if at < s.now {
+		panic(fmt.Sprintf("sim: schedule at %v is before now %v", at, s.now))
+	}
+	s.seq++
+	heap.Push(&s.pending, event{at: at, seq: s.seq, fn: fn})
+}
+
+// Step executes the next event, advancing the clock to it. It reports
+// whether an event was executed.
+func (s *Simulator) Step() bool {
+	if len(s.pending) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.pending).(event)
+	s.now = e.at
+	s.steps++
+	e.fn()
+	return true
+}
+
+// Run executes events until none remain.
+func (s *Simulator) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then advances the clock
+// to exactly t.
+func (s *Simulator) RunUntil(t Time) {
+	for len(s.pending) > 0 && s.pending[0].at <= t {
+		s.Step()
+	}
+	if t > s.now {
+		s.now = t
+	}
+}

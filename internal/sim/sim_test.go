@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTimeConversions(t *testing.T) {
+	if Millisecond.Milliseconds() != 1 {
+		t.Error("Milliseconds wrong")
+	}
+	if Second.Seconds() != 1 {
+		t.Error("Seconds wrong")
+	}
+	if (1500 * Microsecond).String() != "1.500ms" {
+		t.Errorf("String = %q", (1500 * Microsecond).String())
+	}
+}
+
+func TestScheduleOrdering(t *testing.T) {
+	s := New()
+	var order []int
+	s.Schedule(30, func() { order = append(order, 3) })
+	s.Schedule(10, func() { order = append(order, 1) })
+	s.Schedule(20, func() { order = append(order, 2) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	if s.Now() != 30 {
+		t.Errorf("Now = %v", s.Now())
+	}
+	if s.Steps() != 3 {
+		t.Errorf("Steps = %d", s.Steps())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(5, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("simultaneous events out of order: %v", order)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := New()
+	var at []Time
+	s.Schedule(10, func() {
+		at = append(at, s.Now())
+		s.Schedule(5, func() { at = append(at, s.Now()) })
+	})
+	s.Run()
+	if len(at) != 2 || at[0] != 10 || at[1] != 15 {
+		t.Errorf("at = %v", at)
+	}
+}
+
+func TestScheduleAtPastPanics(t *testing.T) {
+	s := New()
+	s.Schedule(10, func() {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic scheduling in the past")
+		}
+	}()
+	s.ScheduleAt(5, func() {})
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic on negative delay")
+		}
+	}()
+	New().Schedule(-1, func() {})
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	var fired []Time
+	for _, d := range []Time{5, 10, 15, 20} {
+		d := d
+		s.Schedule(d, func() { fired = append(fired, d) })
+	}
+	s.RunUntil(12)
+	if len(fired) != 2 || s.Now() != 12 {
+		t.Errorf("fired %v, now %v", fired, s.Now())
+	}
+	if s.Pending() != 2 {
+		t.Errorf("pending = %d", s.Pending())
+	}
+	s.Run()
+	if len(fired) != 4 || s.Now() != 20 {
+		t.Errorf("after Run: fired %v now %v", fired, s.Now())
+	}
+}
+
+func TestStepOnEmpty(t *testing.T) {
+	s := New()
+	if s.Step() {
+		t.Error("Step on empty should be false")
+	}
+}
+
+func TestClockMonotonic(t *testing.T) {
+	s := New()
+	rng := rand.New(rand.NewSource(3))
+	last := Time(0)
+	violated := false
+	var spawn func()
+	count := 0
+	spawn = func() {
+		if s.Now() < last {
+			violated = true
+		}
+		last = s.Now()
+		if count < 500 {
+			count++
+			s.Schedule(Time(rng.Intn(50)), spawn)
+		}
+	}
+	s.Schedule(0, spawn)
+	s.Run()
+	if violated {
+		t.Error("clock went backwards")
+	}
+}

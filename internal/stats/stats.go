@@ -1,0 +1,176 @@
+// Package stats provides the small statistical accumulators the
+// experiment harness reports with: streaming mean/variance, min/max and
+// fixed-boundary histograms.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Mean is a streaming mean/variance accumulator (Welford's algorithm).
+type Mean struct {
+	n    uint64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds one observation in.
+func (m *Mean) Add(x float64) {
+	m.n++
+	if m.n == 1 {
+		m.min, m.max = x, x
+	} else {
+		if x < m.min {
+			m.min = x
+		}
+		if x > m.max {
+			m.max = x
+		}
+	}
+	delta := x - m.mean
+	m.mean += delta / float64(m.n)
+	m.m2 += delta * (x - m.mean)
+}
+
+// N returns the observation count.
+func (m *Mean) N() uint64 { return m.n }
+
+// Mean returns the running mean (0 with no observations).
+func (m *Mean) Mean() float64 { return m.mean }
+
+// Min returns the smallest observation (0 with no observations).
+func (m *Mean) Min() float64 { return m.min }
+
+// Max returns the largest observation (0 with no observations).
+func (m *Mean) Max() float64 { return m.max }
+
+// Variance returns the sample variance (0 with fewer than two
+// observations).
+func (m *Mean) Variance() float64 {
+	if m.n < 2 {
+		return 0
+	}
+	return m.m2 / float64(m.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (m *Mean) StdDev() float64 { return math.Sqrt(m.Variance()) }
+
+// String summarizes the accumulator.
+func (m *Mean) String() string {
+	return fmt.Sprintf("n=%d mean=%.4f sd=%.4f min=%.4f max=%.4f", m.n, m.Mean(), m.StdDev(), m.min, m.max)
+}
+
+// Histogram counts observations into fixed bucket boundaries:
+// bucket i holds values in (bounds[i-1], bounds[i]]; an implicit last
+// bucket catches everything above the final bound.
+type Histogram struct {
+	bounds []float64
+	counts []uint64
+	total  uint64
+}
+
+// NewHistogram builds a histogram over strictly increasing bounds.
+func NewHistogram(bounds []float64) (*Histogram, error) {
+	if len(bounds) == 0 {
+		return nil, fmt.Errorf("stats: histogram needs at least one bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			return nil, fmt.Errorf("stats: histogram bounds not increasing at %d", i)
+		}
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]uint64, len(bounds)+1)}, nil
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	for i, b := range h.bounds {
+		if x <= b {
+			h.counts[i]++
+			return
+		}
+	}
+	h.counts[len(h.bounds)]++
+}
+
+// Total returns the observation count.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Counts returns a copy of the bucket counts (len(bounds)+1 entries; the
+// last is the overflow bucket).
+func (h *Histogram) Counts() []uint64 {
+	out := make([]uint64, len(h.counts))
+	copy(out, h.counts)
+	return out
+}
+
+// Quantile returns an upper bound for the q-quantile (0 < q <= 1) based
+// on bucket boundaries; the overflow bucket reports +Inf.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(h.total)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return math.Inf(1)
+		}
+	}
+	return math.Inf(1)
+}
+
+// String renders the non-empty buckets.
+func (h *Histogram) String() string {
+	var sb strings.Builder
+	prev := math.Inf(-1)
+	for i, c := range h.counts {
+		if c == 0 {
+			if i < len(h.bounds) {
+				prev = h.bounds[i]
+			}
+			continue
+		}
+		upper := math.Inf(1)
+		if i < len(h.bounds) {
+			upper = h.bounds[i]
+		}
+		fmt.Fprintf(&sb, "(%g,%g]:%d ", prev, upper, c)
+		prev = upper
+	}
+	return strings.TrimSpace(sb.String())
+}
+
+// Improvement returns the relative improvement of measured over
+// baseline, as a fraction: (baseline - measured) / baseline for
+// lower-is-better metrics. Use Gain for higher-is-better metrics.
+func Improvement(baseline, measured float64) float64 {
+	if baseline == 0 {
+		return 0
+	}
+	return (baseline - measured) / baseline
+}
+
+// Gain returns measured/baseline - 1 for higher-is-better metrics (a
+// gain of 1.47 means "2.47x the baseline" in the paper's phrasing).
+func Gain(baseline, measured float64) float64 {
+	if baseline == 0 {
+		return 0
+	}
+	return measured/baseline - 1
+}

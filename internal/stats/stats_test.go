@@ -1,0 +1,129 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanBasics(t *testing.T) {
+	var m Mean
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		m.Add(x)
+	}
+	if m.N() != 8 {
+		t.Errorf("N = %d", m.N())
+	}
+	if m.Mean() != 5 {
+		t.Errorf("Mean = %f", m.Mean())
+	}
+	if m.Min() != 2 || m.Max() != 9 {
+		t.Errorf("min/max = %f/%f", m.Min(), m.Max())
+	}
+	// Sample variance of this classic dataset is 32/7.
+	if got, want := m.Variance(), 32.0/7.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("Variance = %f, want %f", got, want)
+	}
+	if m.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestMeanEdge(t *testing.T) {
+	var m Mean
+	if m.Mean() != 0 || m.Variance() != 0 || m.StdDev() != 0 {
+		t.Error("empty accumulator should be zeroes")
+	}
+	m.Add(3)
+	if m.Variance() != 0 {
+		t.Error("single-sample variance should be 0")
+	}
+}
+
+func TestMeanMatchesDirectComputation(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(100)
+		var m Mean
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+			m.Add(xs[i])
+		}
+		var sum float64
+		for _, x := range xs {
+			sum += x
+		}
+		mean := sum / float64(n)
+		var ss float64
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		wantVar := ss / float64(n-1)
+		return math.Abs(m.Mean()-mean) < 1e-6 && math.Abs(m.Variance()-wantVar) < 1e-4
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram([]float64{1, 10, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0.5, 1, 5, 50, 500} {
+		h.Add(x)
+	}
+	counts := h.Counts()
+	want := []uint64{2, 1, 1, 1} // (−inf,1], (1,10], (10,100], overflow
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, counts[i], want[i])
+		}
+	}
+	if h.Total() != 5 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	if q := h.Quantile(0.5); q != 10 {
+		t.Errorf("median bound = %f, want 10", q)
+	}
+	if q := h.Quantile(1.0); !math.IsInf(q, 1) {
+		t.Errorf("max quantile = %f, want +Inf", q)
+	}
+	if h.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestHistogramErrors(t *testing.T) {
+	if _, err := NewHistogram(nil); err == nil {
+		t.Error("empty bounds accepted")
+	}
+	if _, err := NewHistogram([]float64{1, 1}); err == nil {
+		t.Error("non-increasing bounds accepted")
+	}
+}
+
+func TestHistogramEmptyQuantile(t *testing.T) {
+	h, _ := NewHistogram([]float64{1})
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile should be 0")
+	}
+}
+
+func TestImprovementAndGain(t *testing.T) {
+	if got := Improvement(10, 8); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("Improvement = %f", got)
+	}
+	if got := Improvement(0, 8); got != 0 {
+		t.Errorf("Improvement with zero baseline = %f", got)
+	}
+	if got := Gain(0.2, 0.494); math.Abs(got-1.47) > 1e-9 {
+		t.Errorf("Gain = %f", got)
+	}
+	if got := Gain(0, 1); got != 0 {
+		t.Errorf("Gain with zero baseline = %f", got)
+	}
+}

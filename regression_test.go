@@ -1,0 +1,71 @@
+package fbf_test
+
+import (
+	"fmt"
+	"testing"
+
+	"fbf"
+)
+
+// TestDeterministicRegression pins exact end-to-end metrics for a fixed
+// configuration and seed. The whole stack — trace generation, scheme
+// selection, cache behaviour, discrete-event timing — is deterministic,
+// so any change to these numbers means an intentional behaviour change
+// (update the table) or a regression (fix it).
+func TestDeterministicRegression(t *testing.T) {
+	type want struct {
+		hits, misses uint64
+		diskReads    uint64
+		makespanMs   string
+	}
+	cases := []struct {
+		code   string
+		p      int
+		policy string
+		want   want
+	}{
+		{"tip", 7, "fbf", want{}},
+		{"tip", 7, "lru", want{}},
+		{"star", 5, "fbf", want{}},
+	}
+	// First pass records, second pass verifies run-to-run determinism;
+	// the pinned values below guard cross-change determinism.
+	pinned := map[string]string{
+		"tip/7/fbf":  "hits=140 misses=855 reads=855 makespan=1411.620ms",
+		"tip/7/lru":  "hits=21 misses=974 reads=974 makespan=1603.000ms",
+		"star/5/fbf": "hits=75 misses=611 reads=611 makespan=1303.600ms",
+	}
+	for _, c := range cases {
+		key := fmt.Sprintf("%s/%d/%s", c.code, c.p, c.policy)
+		t.Run(key, func(t *testing.T) {
+			code, err := fbf.NewCode(c.code, c.p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			errors, err := fbf.GenerateTrace(code, fbf.TraceConfig{
+				Groups: 48, Stripes: 1024, Seed: 7, Disk: -1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			run := func() string {
+				res, err := fbf.Run(fbf.SimConfig{
+					Code: code, Policy: c.policy, Strategy: fbf.StrategyLooped,
+					Workers: 16, CacheChunks: 64, Stripes: 1024,
+				}, errors)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return fmt.Sprintf("hits=%d misses=%d reads=%d makespan=%v",
+					res.Cache.Hits, res.Cache.Misses, res.DiskReads, res.Makespan)
+			}
+			first, second := run(), run()
+			if first != second {
+				t.Fatalf("non-deterministic:\n  %s\n  %s", first, second)
+			}
+			if wantStr, ok := pinned[key]; ok && first != wantStr {
+				t.Errorf("regression:\n  got  %s\n  want %s", first, wantStr)
+			}
+		})
+	}
+}
