@@ -9,7 +9,12 @@
 //	       [-policies fifo,lru,lfu,arc,fbf] [-sizes 8,16,...,2048]
 //	       [-groups N] [-workers N] [-stripes N] [-seed N]
 //	       [-strategy typical|looped|greedy] [-dist uniform|fixed|geometric]
-//	       [-csv]
+//	       [-csv] [-parallel N] [-progress]
+//
+// Sweeps fan their independent simulation runs out across cores
+// (-parallel, default GOMAXPROCS); every run is an isolated
+// deterministic simulation, so the output is identical at any
+// parallelism level.
 package main
 
 import (
@@ -41,10 +46,24 @@ func main() {
 	strategyFlag := flag.String("strategy", "looped", "chain-selection strategy (typical, looped, greedy)")
 	distFlag := flag.String("dist", "uniform", "error-size distribution (uniform, fixed, geometric)")
 	csv := flag.Bool("csv", false, "emit figures as CSV instead of text tables")
+	parallel := flag.Int("parallel", 0, "concurrent simulation runs per sweep (0 = GOMAXPROCS, 1 = serial); results are identical at any level")
+	progress := flag.Bool("progress", false, "report sweep progress on stderr")
 	flag.Parse()
 
 	params := fbf.DefaultExperimentParams()
 	params.Seed = *seed
+	if *parallel < 0 {
+		log.Fatalf("bad -parallel %d: must be >= 0", *parallel)
+	}
+	params.Parallelism = *parallel
+	if *progress {
+		params.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rfbfsim: %d/%d runs", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
 	if *groups > 0 {
 		params.Groups = *groups
 	}

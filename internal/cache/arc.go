@@ -87,8 +87,21 @@ func (a *ARC) dropLRU(w arcList) {
 
 // replace is the REPLACE subroutine of the ARC paper: demote the LRU of
 // T1 or T2 into its ghost list to make room for one resident page.
+//
+// The paper's pseudocode pops T2 whenever the T1 condition is false,
+// but after ghost-hit adaptation T2 can be empty while T1 is not (e.g.
+// a B1 ghost hit raises p to |T1| with every resident page in T1);
+// popping the empty list would corrupt the index, so the branch
+// selection falls back to the non-empty side.
 func (a *ARC) replace(inB2 bool) {
-	if a.t1.Len() >= 1 && ((inB2 && a.t1.Len() == a.p) || a.t1.Len() > a.p) {
+	fromT1 := a.t1.Len() >= 1 && ((inB2 && a.t1.Len() == a.p) || a.t1.Len() > a.p)
+	if !fromT1 && a.t2.Len() == 0 {
+		if a.t1.Len() == 0 {
+			return // no resident pages at all; nothing to demote
+		}
+		fromT1 = true
+	}
+	if fromT1 {
 		id := a.t1.PopFront()
 		e := a.index[id]
 		e.where = arcB1

@@ -1,0 +1,191 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"fbf/internal/grid"
+)
+
+// refARC is an independent slice-based transcription of the ARC paper's
+// Figure 4 pseudocode (index 0 is the LRU end of each list), carrying
+// the same emptiness fallback in REPLACE as the production cache: when
+// the chosen side has no resident page, demote from the other side, and
+// do nothing if there are no resident pages at all.
+type refARC struct {
+	c, p           int
+	t1, t2, b1, b2 []ChunkID
+}
+
+func refRemove(list []ChunkID, id ChunkID) []ChunkID {
+	for i, v := range list {
+		if v == id {
+			return append(list[:i:i], list[i+1:]...)
+		}
+	}
+	return list
+}
+
+func refHas(list []ChunkID, id ChunkID) bool {
+	for _, v := range list {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *refARC) replace(inB2 bool) {
+	fromT1 := len(r.t1) >= 1 && ((inB2 && len(r.t1) == r.p) || len(r.t1) > r.p)
+	if !fromT1 && len(r.t2) == 0 {
+		if len(r.t1) == 0 {
+			return
+		}
+		fromT1 = true
+	}
+	if fromT1 {
+		id := r.t1[0]
+		r.t1 = r.t1[1:]
+		r.b1 = append(r.b1, id)
+	} else {
+		id := r.t2[0]
+		r.t2 = r.t2[1:]
+		r.b2 = append(r.b2, id)
+	}
+}
+
+func (r *refARC) request(id ChunkID) bool {
+	c := r.c
+	if c == 0 {
+		return false
+	}
+	switch {
+	case refHas(r.t1, id) || refHas(r.t2, id): // Case I
+		r.t1 = refRemove(r.t1, id)
+		r.t2 = append(refRemove(r.t2, id), id)
+		return true
+	case refHas(r.b1, id): // Case II
+		delta := 1
+		if len(r.b2) > len(r.b1) {
+			delta = len(r.b2) / len(r.b1)
+		}
+		r.p = min(c, r.p+delta)
+		r.replace(false)
+		r.b1 = refRemove(r.b1, id)
+		r.t2 = append(r.t2, id)
+		return false
+	case refHas(r.b2, id): // Case III
+		delta := 1
+		if len(r.b1) > len(r.b2) {
+			delta = len(r.b1) / len(r.b2)
+		}
+		r.p = max(0, r.p-delta)
+		r.replace(true)
+		r.b2 = refRemove(r.b2, id)
+		r.t2 = append(r.t2, id)
+		return false
+	}
+	// Case IV: completely new page.
+	l1 := len(r.t1) + len(r.b1)
+	if l1 == c {
+		if len(r.t1) < c {
+			r.b1 = r.b1[1:]
+			r.replace(false)
+		} else {
+			r.t1 = r.t1[1:]
+		}
+	} else if l1 < c {
+		total := l1 + len(r.t2) + len(r.b2)
+		if total >= c {
+			if total == 2*c {
+				r.b2 = r.b2[1:]
+			}
+			r.replace(false)
+		}
+	}
+	r.t1 = append(r.t1, id)
+	return false
+}
+
+// TestARCMatchesReference cross-checks the linked-list ARC against the
+// slice-based reference on random traces. Tiny capacities with a key
+// universe of ~3c force constant ghost churn — the regime where the
+// REPLACE edge case (T2 empty after ghost-hit adaptation) lives; before
+// the fallback guard this corrupted the index by popping an empty list.
+func TestARCMatchesReference(t *testing.T) {
+	for capacity := 1; capacity <= 6; capacity++ {
+		for seed := int64(0); seed < 5; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			a := NewARC(capacity)
+			ref := &refARC{c: capacity}
+			universe := 3 * capacity
+			for i := 0; i < 2000; i++ {
+				id := ChunkID{Cell: grid.Coord{Row: rng.Intn(universe)}}
+				gotHit := a.Request(id)
+				wantHit := ref.request(id)
+				if gotHit != wantHit {
+					t.Fatalf("c=%d seed=%d step %d id=%v: hit=%v, reference says %v",
+						capacity, seed, i, id, gotHit, wantHit)
+				}
+				if a.Len() != len(ref.t1)+len(ref.t2) {
+					t.Fatalf("c=%d seed=%d step %d: Len=%d, reference %d",
+						capacity, seed, i, a.Len(), len(ref.t1)+len(ref.t2))
+				}
+				// ARC paper invariants (Section I.B).
+				if a.Len() > capacity {
+					t.Fatalf("c=%d seed=%d step %d: %d resident pages", capacity, seed, i, a.Len())
+				}
+				if l1 := a.t1.Len() + a.b1.Len(); l1 > capacity {
+					t.Fatalf("c=%d seed=%d step %d: |T1|+|B1| = %d > c", capacity, seed, i, l1)
+				}
+				if total := a.t1.Len() + a.t2.Len() + a.b1.Len() + a.b2.Len(); total > 2*capacity {
+					t.Fatalf("c=%d seed=%d step %d: %d tracked pages > 2c", capacity, seed, i, total)
+				}
+				if a.p < 0 || a.p > capacity {
+					t.Fatalf("c=%d seed=%d step %d: target p=%d outside [0,%d]", capacity, seed, i, a.p, capacity)
+				}
+			}
+			if a.stats.Hits+a.stats.Misses != 2000 {
+				t.Fatalf("c=%d seed=%d: hits+misses = %d", capacity, seed, a.stats.Hits+a.stats.Misses)
+			}
+		}
+	}
+}
+
+// TestARCReplaceEmptyT2 drives REPLACE into the post-adaptation state
+// the paper's pseudocode does not cover: a ghost hit raises p while T2
+// holds nothing, so the T2 branch would pop an empty list. The guarded
+// implementation must demote from T1 instead (or no-op with no
+// residents) and keep serving requests with a consistent index.
+func TestARCReplaceEmptyT2(t *testing.T) {
+	a := NewARC(2)
+	// Force the state directly through the exported API plus the same
+	// internal hooks the package owns: fill T1, plant a B1 ghost, raise
+	// p to |T1|, then call replace with nothing in T2.
+	a.Request(ChunkID{Cell: grid.Coord{Row: 1}})
+	a.Request(ChunkID{Cell: grid.Coord{Row: 2}})
+	if a.t1.Len() != 2 || a.t2.Len() != 0 {
+		t.Fatalf("setup: T1=%d T2=%d", a.t1.Len(), a.t2.Len())
+	}
+	a.p = a.t1.Len() // adaptation pinned p to |T1|: fromT1 heuristic is false
+	a.replace(false)
+	if a.t1.Len() != 1 || a.b1.Len() != 1 {
+		t.Fatalf("replace with empty T2 demoted wrong page: T1=%d B1=%d T2=%d B2=%d",
+			a.t1.Len(), a.b1.Len(), a.t2.Len(), a.b2.Len())
+	}
+	// The index must still be coherent: every id resolves to the list
+	// that holds it.
+	for id, e := range a.index {
+		if e.node == nil || e.node.Val != id {
+			t.Fatalf("index corrupt for %v", id)
+		}
+	}
+
+	// No residents at all: replace must be a no-op, not a crash.
+	empty := NewARC(2)
+	empty.replace(false)
+	empty.replace(true)
+	if empty.Len() != 0 || empty.stats.Evictions != 0 {
+		t.Fatalf("replace on empty cache: Len=%d evictions=%d", empty.Len(), empty.stats.Evictions)
+	}
+}

@@ -54,6 +54,68 @@ type Params struct {
 	// ChargeSchemeGen folds measured scheme-generation wall time into
 	// the simulated clock (used by the Table IV runs).
 	ChargeSchemeGen bool
+
+	// Parallelism bounds how many sweep points run concurrently: 0
+	// means GOMAXPROCS, 1 forces the serial path. Every run is an
+	// isolated deterministic simulation, so the results (values and
+	// order) are identical at any parallelism level.
+	Parallelism int
+	// Progress, when non-nil, is called after each completed run with
+	// (completed, total) for the current sweep. Calls are serialized
+	// but may come from worker goroutines.
+	Progress func(done, total int)
+}
+
+// validateAxes checks the sweep axes an artefact actually uses.
+func (p Params) validateAxes(needPolicies, needSizes bool) error {
+	if len(p.Codes) == 0 {
+		return fmt.Errorf("experiments: no codes configured")
+	}
+	if len(p.Primes) == 0 {
+		return fmt.Errorf("experiments: no primes configured")
+	}
+	if needPolicies && len(p.Policies) == 0 {
+		return fmt.Errorf("experiments: no cache policies configured")
+	}
+	if needSizes {
+		if len(p.CacheSizesMB) == 0 {
+			return fmt.Errorf("experiments: no cache sizes configured")
+		}
+		for _, mb := range p.CacheSizesMB {
+			if mb < 0 {
+				return fmt.Errorf("experiments: negative cache size %d MB", mb)
+			}
+		}
+	}
+	return nil
+}
+
+// validateEngine checks the per-run engine parameters.
+func (p Params) validateEngine() error {
+	switch {
+	case p.ChunkSizeKB <= 0:
+		return fmt.Errorf("experiments: non-positive chunk size %d KB (start from DefaultParams, not the zero value)", p.ChunkSizeKB)
+	case p.Workers <= 0:
+		return fmt.Errorf("experiments: non-positive worker count %d", p.Workers)
+	case p.Groups <= 0:
+		return fmt.Errorf("experiments: non-positive group count %d", p.Groups)
+	case p.Stripes <= 0:
+		return fmt.Errorf("experiments: non-positive stripe count %d", p.Stripes)
+	case p.Parallelism < 0:
+		return fmt.Errorf("experiments: negative parallelism %d", p.Parallelism)
+	}
+	return nil
+}
+
+// Validate checks that the full sweep cross product is runnable. Sweep
+// calls it once up front so a bad field fails fast with a clear error
+// instead of deep inside a run (or as a division by zero when Params
+// was built from the zero value).
+func (p Params) Validate() error {
+	if err := p.validateAxes(true, true); err != nil {
+		return err
+	}
+	return p.validateEngine()
 }
 
 // DefaultParams returns the paper's evaluation configuration, with the
@@ -75,8 +137,14 @@ func DefaultParams() Params {
 	}
 }
 
-// CacheChunks converts a cache size in MB to chunks.
+// CacheChunks converts a cache size in MB to chunks. With a
+// non-positive ChunkSizeKB (a Params built from the zero value rather
+// than DefaultParams) it returns 0 instead of dividing by zero; Sweep
+// and the other artefacts reject such Params up front via Validate.
 func (p Params) CacheChunks(sizeMB int) int {
+	if p.ChunkSizeKB <= 0 {
+		return 0
+	}
 	return sizeMB * 1024 / p.ChunkSizeKB
 }
 
@@ -89,47 +157,97 @@ type Point struct {
 	Result  *rebuild.Result
 }
 
+// sweepPrep is the shared read-only input of every run of one
+// (code, prime) pair: the resolved geometry and the generated error
+// trace. One prep is shared by all that pair's policy/size points —
+// concurrent rebuild.Run calls only read the geometry and the trace
+// (see rebuild.Run's concurrency contract), so regenerating the trace
+// per point would be pure waste.
+type sweepPrep struct {
+	codeName string
+	prime    int
+	code     core.Geometry
+	errors   []core.PartialStripeError
+}
+
+// prepareTraces resolves the geometry and generates the error trace for
+// every (code, prime) pair of the sweep, in parallel. The returned
+// slice is ordered codes-major, matching the sweep enumeration.
+func prepareTraces(p Params) ([]sweepPrep, error) {
+	preps := make([]sweepPrep, 0, len(p.Codes)*len(p.Primes))
+	for _, codeName := range p.Codes {
+		for _, prime := range p.Primes {
+			preps = append(preps, sweepPrep{codeName: codeName, prime: prime})
+		}
+	}
+	err := forEachIndexed(p.parallelism(), len(preps), nil, func(i int) error {
+		code, err := ResolveGeometry(preps[i].codeName, preps[i].prime)
+		if err != nil {
+			return err
+		}
+		errors, err := trace.Generate(code, trace.Config{
+			Groups:  p.Groups,
+			Stripes: p.Stripes,
+			Seed:    p.Seed,
+			Disk:    -1,
+			Dist:    p.Dist,
+		})
+		if err != nil {
+			return err
+		}
+		preps[i].code, preps[i].errors = code, errors
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return preps, nil
+}
+
 // Sweep runs the full cross product of codes, primes, policies and
 // cache sizes. The same seed gives every policy the same error trace
 // for a given (code, prime), so policies are directly comparable.
+//
+// Runs execute concurrently up to Params.Parallelism (default
+// GOMAXPROCS) and the returned points are in exactly the serial
+// enumeration order (codes, then primes, then policies, then sizes)
+// with identical Result metrics — each run is an isolated
+// deterministic simulation, so the schedule cannot leak into the
+// measurements and BuildFigure's order-dependent series assembly is
+// byte-stable at any parallelism.
 func Sweep(p Params) ([]Point, error) {
-	var out []Point
-	for _, codeName := range p.Codes {
-		for _, prime := range p.Primes {
-			code, err := ResolveGeometry(codeName, prime)
-			if err != nil {
-				return nil, err
-			}
-			errors, err := trace.Generate(code, trace.Config{
-				Groups:  p.Groups,
-				Stripes: p.Stripes,
-				Seed:    p.Seed,
-				Disk:    -1,
-				Dist:    p.Dist,
-			})
-			if err != nil {
-				return nil, err
-			}
-			for _, policy := range p.Policies {
-				for _, sizeMB := range p.CacheSizesMB {
-					res, err := rebuild.Run(rebuild.Config{
-						Code:            code,
-						Policy:          policy,
-						Strategy:        p.Strategy,
-						Workers:         p.Workers,
-						CacheChunks:     p.CacheChunks(sizeMB),
-						ChunkSize:       p.ChunkSizeKB * 1024,
-						Stripes:         p.Stripes,
-						SkipSpareWrites: p.FastIO,
-						ChargeSchemeGen: p.ChargeSchemeGen,
-					}, errors)
-					if err != nil {
-						return nil, fmt.Errorf("experiments: %s(p=%d) %s %dMB: %w", codeName, prime, policy, sizeMB, err)
-					}
-					out = append(out, Point{Code: codeName, P: prime, Policy: policy, CacheMB: sizeMB, Result: res})
-				}
-			}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	preps, err := prepareTraces(p)
+	if err != nil {
+		return nil, err
+	}
+	perPrep := len(p.Policies) * len(p.CacheSizesMB)
+	out := make([]Point, len(preps)*perPrep)
+	err = forEachIndexed(p.parallelism(), len(out), p.Progress, func(i int) error {
+		prep := preps[i/perPrep]
+		policy := p.Policies[(i%perPrep)/len(p.CacheSizesMB)]
+		sizeMB := p.CacheSizesMB[i%len(p.CacheSizesMB)]
+		res, err := rebuild.Run(rebuild.Config{
+			Code:            prep.code,
+			Policy:          policy,
+			Strategy:        p.Strategy,
+			Workers:         p.Workers,
+			CacheChunks:     p.CacheChunks(sizeMB),
+			ChunkSize:       p.ChunkSizeKB * 1024,
+			Stripes:         p.Stripes,
+			SkipSpareWrites: p.FastIO,
+			ChargeSchemeGen: p.ChargeSchemeGen,
+		}, prep.errors)
+		if err != nil {
+			return fmt.Errorf("experiments: %s(p=%d) %s %dMB: %w", prep.codeName, prep.prime, policy, sizeMB, err)
 		}
+		out[i] = Point{Code: prep.codeName, P: prep.prime, Policy: policy, CacheMB: sizeMB, Result: res}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"time"
 
 	"fbf/internal/core"
@@ -71,47 +72,72 @@ type OverheadRow struct {
 
 // Table4 reproduces Table IV: the temporal overhead of FBF's priority
 // generation, measured as real wall time of scheme generation, compared
-// against the simulated per-group reconstruction time.
+// against the simulated per-group reconstruction time. The (prime,
+// code) cells run concurrently up to Params.Parallelism; rows come back
+// in the serial enumeration order (primes, then codes).
+//
+// Note the measured scheme-generation wall time is real time on a
+// possibly-contended core, so unlike the simulated metrics it can
+// fluctuate run to run (at any parallelism level, including 1).
 func Table4(p Params) ([]OverheadRow, error) {
 	if len(p.Primes) == 0 {
 		p.Primes = []int{5, 7, 11, 13}
 	}
-	var rows []OverheadRow
+	if err := p.validateAxes(false, false); err != nil {
+		return nil, err
+	}
+	if err := p.validateEngine(); err != nil {
+		return nil, err
+	}
+	type cell struct {
+		prime    int
+		codeName string
+	}
+	var cells []cell
 	for _, prime := range p.Primes {
 		for _, codeName := range p.Codes {
-			code, err := ResolveGeometry(codeName, prime)
-			if err != nil {
-				return nil, err
-			}
-			errors, err := trace.Generate(code, trace.Config{
-				Groups: p.Groups, Stripes: p.Stripes, Seed: p.Seed, Disk: -1, Dist: p.Dist,
-			})
-			if err != nil {
-				return nil, err
-			}
-			res, err := rebuild.Run(rebuild.Config{
-				Code: code, Policy: "fbf", Strategy: p.Strategy,
-				Workers: p.Workers, CacheChunks: p.CacheChunks(256),
-				ChunkSize: p.ChunkSizeKB * 1024, Stripes: p.Stripes,
-			}, errors)
-			if err != nil {
-				return nil, err
-			}
-			// Per-group reconstruction time: total busy reconstruction
-			// spread over the groups. With W workers running in parallel,
-			// aggregate reconstruction work ≈ makespan * effective workers.
-			workers := p.Workers
-			if workers > res.Groups {
-				workers = res.Groups
-			}
-			perGroupMs := res.Makespan.Milliseconds() * float64(workers) / float64(res.Groups)
-			overheadMs := float64(res.AvgSchemeGen().Nanoseconds()) / 1e6
-			pct := 0.0
-			if perGroupMs > 0 {
-				pct = overheadMs / perGroupMs * 100
-			}
-			rows = append(rows, OverheadRow{Code: codeName, P: prime, Overhead: res.AvgSchemeGen(), Percent: pct})
+			cells = append(cells, cell{prime: prime, codeName: codeName})
 		}
+	}
+	rows := make([]OverheadRow, len(cells))
+	err := forEachIndexed(p.parallelism(), len(cells), p.Progress, func(i int) error {
+		prime, codeName := cells[i].prime, cells[i].codeName
+		code, err := ResolveGeometry(codeName, prime)
+		if err != nil {
+			return err
+		}
+		errors, err := trace.Generate(code, trace.Config{
+			Groups: p.Groups, Stripes: p.Stripes, Seed: p.Seed, Disk: -1, Dist: p.Dist,
+		})
+		if err != nil {
+			return err
+		}
+		res, err := rebuild.Run(rebuild.Config{
+			Code: code, Policy: "fbf", Strategy: p.Strategy,
+			Workers: p.Workers, CacheChunks: p.CacheChunks(256),
+			ChunkSize: p.ChunkSizeKB * 1024, Stripes: p.Stripes,
+		}, errors)
+		if err != nil {
+			return err
+		}
+		// Per-group reconstruction time: total busy reconstruction
+		// spread over the groups. With W workers running in parallel,
+		// aggregate reconstruction work ≈ makespan * effective workers.
+		workers := p.Workers
+		if workers > res.Groups {
+			workers = res.Groups
+		}
+		perGroupMs := res.Makespan.Milliseconds() * float64(workers) / float64(res.Groups)
+		overheadMs := float64(res.AvgSchemeGen().Nanoseconds()) / 1e6
+		pct := 0.0
+		if perGroupMs > 0 {
+			pct = overheadMs / perGroupMs * 100
+		}
+		rows[i] = OverheadRow{Code: codeName, P: prime, Overhead: res.AvgSchemeGen(), Percent: pct}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -200,40 +226,63 @@ type SchemeComparison struct {
 
 // SchemeAblation quantifies how much read I/O the FBF chain-selection
 // (looping) saves over typical horizontal-only recovery, and what the
-// greedy upper bound adds.
+// greedy upper bound adds. The (code, prime) rows run concurrently up
+// to Params.Parallelism in the serial enumeration order.
 func SchemeAblation(p Params) ([]SchemeComparison, error) {
-	var out []SchemeComparison
+	if err := p.validateAxes(false, false); err != nil {
+		return nil, err
+	}
+	if p.Groups <= 0 {
+		return nil, fmt.Errorf("experiments: non-positive group count %d", p.Groups)
+	}
+	if p.Stripes <= 0 {
+		return nil, fmt.Errorf("experiments: non-positive stripe count %d", p.Stripes)
+	}
+	type cell struct {
+		codeName string
+		prime    int
+	}
+	var cells []cell
 	for _, codeName := range p.Codes {
 		for _, prime := range p.Primes {
-			code, err := ResolveGeometry(codeName, prime)
-			if err != nil {
-				return nil, err
-			}
-			errors, err := trace.Generate(code, trace.Config{
-				Groups: p.Groups, Stripes: p.Stripes, Seed: p.Seed, Disk: -1, Dist: p.Dist,
-			})
-			if err != nil {
-				return nil, err
-			}
-			means := map[core.Strategy]float64{}
-			for _, strategy := range []core.Strategy{core.StrategyTypical, core.StrategyLooped, core.StrategyGreedy} {
-				total := 0
-				for _, e := range errors {
-					s, err := core.GenerateScheme(code, e, strategy)
-					if err != nil {
-						return nil, err
-					}
-					total += s.UniqueFetches()
-				}
-				means[strategy] = float64(total) / float64(len(errors))
-			}
-			out = append(out, SchemeComparison{
-				Code: codeName, P: prime,
-				Typical: means[core.StrategyTypical], Looped: means[core.StrategyLooped], Greedy: means[core.StrategyGreedy],
-				LoopedSavingPct:    stats.Improvement(means[core.StrategyTypical], means[core.StrategyLooped]) * 100,
-				GreedyExtraSavePct: stats.Improvement(means[core.StrategyLooped], means[core.StrategyGreedy]) * 100,
-			})
+			cells = append(cells, cell{codeName: codeName, prime: prime})
 		}
+	}
+	out := make([]SchemeComparison, len(cells))
+	err := forEachIndexed(p.parallelism(), len(cells), p.Progress, func(i int) error {
+		codeName, prime := cells[i].codeName, cells[i].prime
+		code, err := ResolveGeometry(codeName, prime)
+		if err != nil {
+			return err
+		}
+		errors, err := trace.Generate(code, trace.Config{
+			Groups: p.Groups, Stripes: p.Stripes, Seed: p.Seed, Disk: -1, Dist: p.Dist,
+		})
+		if err != nil {
+			return err
+		}
+		means := map[core.Strategy]float64{}
+		for _, strategy := range []core.Strategy{core.StrategyTypical, core.StrategyLooped, core.StrategyGreedy} {
+			total := 0
+			for _, e := range errors {
+				s, err := core.GenerateScheme(code, e, strategy)
+				if err != nil {
+					return err
+				}
+				total += s.UniqueFetches()
+			}
+			means[strategy] = float64(total) / float64(len(errors))
+		}
+		out[i] = SchemeComparison{
+			Code: codeName, P: prime,
+			Typical: means[core.StrategyTypical], Looped: means[core.StrategyLooped], Greedy: means[core.StrategyGreedy],
+			LoopedSavingPct:    stats.Improvement(means[core.StrategyTypical], means[core.StrategyLooped]) * 100,
+			GreedyExtraSavePct: stats.Improvement(means[core.StrategyLooped], means[core.StrategyGreedy]) * 100,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -5,7 +5,6 @@ import (
 	"io"
 
 	"fbf/internal/rebuild"
-	"fbf/internal/trace"
 )
 
 // ModeRow compares stripe-oriented and disk-oriented reconstruction for
@@ -22,44 +21,49 @@ type ModeRow struct {
 }
 
 // ModeComparison runs the SOR-vs-DOR ablation (Section III-B of the
-// paper) at a fixed representative cache size (64 MB total).
+// paper) at a fixed representative cache size (64 MB total). One trace
+// is generated per (code, prime) and shared read-only by that pair's
+// policy rows, which run concurrently up to Params.Parallelism in the
+// serial enumeration order.
 func ModeComparison(p Params) ([]ModeRow, error) {
-	var rows []ModeRow
-	for _, codeName := range p.Codes {
-		for _, prime := range p.Primes {
-			code, err := ResolveGeometry(codeName, prime)
-			if err != nil {
-				return nil, err
-			}
-			errors, err := trace.Generate(code, trace.Config{
-				Groups: p.Groups, Stripes: p.Stripes, Seed: p.Seed, Disk: -1, Dist: p.Dist,
-			})
-			if err != nil {
-				return nil, err
-			}
-			for _, policy := range p.Policies {
-				base := rebuild.Config{
-					Code: code, Policy: policy, Strategy: p.Strategy,
-					Workers: p.Workers, CacheChunks: p.CacheChunks(64),
-					ChunkSize: p.ChunkSizeKB * 1024, Stripes: p.Stripes,
-				}
-				sor, err := rebuild.Run(base, errors)
-				if err != nil {
-					return nil, err
-				}
-				dorCfg := base
-				dorCfg.Mode = rebuild.ModeDOR
-				dor, err := rebuild.Run(dorCfg, errors)
-				if err != nil {
-					return nil, err
-				}
-				rows = append(rows, ModeRow{
-					Code: codeName, P: prime, Policy: policy,
-					SORMs: sor.Makespan.Milliseconds(), DORMs: dor.Makespan.Milliseconds(),
-					SORHit: sor.HitRatio(), DORHit: dor.HitRatio(),
-				})
-			}
+	if err := p.validateAxes(true, false); err != nil {
+		return nil, err
+	}
+	if err := p.validateEngine(); err != nil {
+		return nil, err
+	}
+	preps, err := prepareTraces(p)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]ModeRow, len(preps)*len(p.Policies))
+	err = forEachIndexed(p.parallelism(), len(rows), p.Progress, func(i int) error {
+		prep := preps[i/len(p.Policies)]
+		policy := p.Policies[i%len(p.Policies)]
+		base := rebuild.Config{
+			Code: prep.code, Policy: policy, Strategy: p.Strategy,
+			Workers: p.Workers, CacheChunks: p.CacheChunks(64),
+			ChunkSize: p.ChunkSizeKB * 1024, Stripes: p.Stripes,
 		}
+		sor, err := rebuild.Run(base, prep.errors)
+		if err != nil {
+			return err
+		}
+		dorCfg := base
+		dorCfg.Mode = rebuild.ModeDOR
+		dor, err := rebuild.Run(dorCfg, prep.errors)
+		if err != nil {
+			return err
+		}
+		rows[i] = ModeRow{
+			Code: prep.codeName, P: prep.prime, Policy: policy,
+			SORMs: sor.Makespan.Milliseconds(), DORMs: dor.Makespan.Milliseconds(),
+			SORHit: sor.HitRatio(), DORHit: dor.HitRatio(),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

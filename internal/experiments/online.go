@@ -7,7 +7,6 @@ import (
 	"fbf/internal/rebuild"
 	"fbf/internal/sim"
 	"fbf/internal/stats"
-	"fbf/internal/trace"
 )
 
 // OnlineRow reports one policy's behaviour under online recovery: how
@@ -30,7 +29,10 @@ type OnlineRow struct {
 // the paper's conclusion: "FBF is considered to be effective for
 // parallel and online recovery as well"): each policy reconstructs the
 // same error trace twice, once quiet and once with a foreground read
-// stream sharing the cache and disks.
+// stream sharing the cache and disks. One trace is generated per
+// (code, prime) and shared read-only by that pair's policy rows, which
+// run concurrently up to Params.Parallelism in the serial enumeration
+// order.
 func OnlineRecovery(p Params, app rebuild.AppWorkload) ([]OnlineRow, error) {
 	if app.Requests <= 0 {
 		app.Requests = 4 * p.Groups
@@ -44,46 +46,48 @@ func OnlineRecovery(p Params, app rebuild.AppWorkload) ([]OnlineRow, error) {
 		// requests land on stripes under repair.
 		app.ErrorLocality = 0.5
 	}
-	var rows []OnlineRow
-	for _, codeName := range p.Codes {
-		for _, prime := range p.Primes {
-			code, err := ResolveGeometry(codeName, prime)
-			if err != nil {
-				return nil, err
-			}
-			errors, err := trace.Generate(code, trace.Config{
-				Groups: p.Groups, Stripes: p.Stripes, Seed: p.Seed, Disk: -1, Dist: p.Dist,
-			})
-			if err != nil {
-				return nil, err
-			}
-			for _, policy := range p.Policies {
-				base := rebuild.Config{
-					Code: code, Policy: policy, Strategy: p.Strategy,
-					Workers: p.Workers, CacheChunks: p.CacheChunks(64),
-					ChunkSize: p.ChunkSizeKB * 1024, Stripes: p.Stripes,
-				}
-				quiet, err := rebuild.Run(base, errors)
-				if err != nil {
-					return nil, err
-				}
-				loadedCfg := base
-				appCopy := app
-				loadedCfg.App = &appCopy
-				loaded, err := rebuild.Run(loadedCfg, errors)
-				if err != nil {
-					return nil, err
-				}
-				rows = append(rows, OnlineRow{
-					Code: codeName, P: prime, Policy: policy,
-					QuietRecoveryMs:  quiet.Makespan.Milliseconds(),
-					LoadedRecoveryMs: loaded.Makespan.Milliseconds(),
-					SlowdownPct:      -stats.Improvement(quiet.Makespan.Milliseconds(), loaded.Makespan.Milliseconds()) * 100,
-					AppHitRatio:      loaded.AppHitRatio(),
-					AppAvgMs:         loaded.AppAvgResponse().Milliseconds(),
-				})
-			}
+	if err := p.validateAxes(true, false); err != nil {
+		return nil, err
+	}
+	if err := p.validateEngine(); err != nil {
+		return nil, err
+	}
+	preps, err := prepareTraces(p)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]OnlineRow, len(preps)*len(p.Policies))
+	err = forEachIndexed(p.parallelism(), len(rows), p.Progress, func(i int) error {
+		prep := preps[i/len(p.Policies)]
+		policy := p.Policies[i%len(p.Policies)]
+		base := rebuild.Config{
+			Code: prep.code, Policy: policy, Strategy: p.Strategy,
+			Workers: p.Workers, CacheChunks: p.CacheChunks(64),
+			ChunkSize: p.ChunkSizeKB * 1024, Stripes: p.Stripes,
 		}
+		quiet, err := rebuild.Run(base, prep.errors)
+		if err != nil {
+			return err
+		}
+		loadedCfg := base
+		appCopy := app
+		loadedCfg.App = &appCopy
+		loaded, err := rebuild.Run(loadedCfg, prep.errors)
+		if err != nil {
+			return err
+		}
+		rows[i] = OnlineRow{
+			Code: prep.codeName, P: prep.prime, Policy: policy,
+			QuietRecoveryMs:  quiet.Makespan.Milliseconds(),
+			LoadedRecoveryMs: loaded.Makespan.Milliseconds(),
+			SlowdownPct:      -stats.Improvement(quiet.Makespan.Milliseconds(), loaded.Makespan.Milliseconds()) * 100,
+			AppHitRatio:      loaded.AppHitRatio(),
+			AppAvgMs:         loaded.AppAvgResponse().Milliseconds(),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

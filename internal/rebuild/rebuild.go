@@ -245,8 +245,39 @@ func (r *Result) AvgSchemeGen() time.Duration {
 	return r.SchemeGenWall / time.Duration(r.Groups)
 }
 
+// cachePartition splits total cache chunks across n worker partitions
+// as evenly as possible: every partition gets total/n chunks and the
+// first total%n partitions get one extra, so no capacity is lost to
+// integer division (with 1000 chunks and 128 workers the old plain
+// division silently discarded 104 chunks — over 10% of the cache).
+func cachePartition(total, n int) []int {
+	if n <= 0 {
+		return nil
+	}
+	base, extra := total/n, total%n
+	parts := make([]int, n)
+	for i := range parts {
+		parts[i] = base
+		if i < extra {
+			parts[i]++
+		}
+	}
+	return parts
+}
+
 // Run executes a reconstruction of the given error groups and returns
 // the collected metrics.
+//
+// Concurrency contract: Run is safe to call from multiple goroutines
+// simultaneously, including with a shared cfg.Code and a shared errors
+// slice. It treats both as strictly read-only — geometry values
+// (codes.Code, lrc.Code and their grid.Layout) are immutable after
+// construction, and the error groups are never written. The
+// experiments package's parallel sweeps rely on this invariant to run
+// one generated trace through many concurrent policy/size runs;
+// anything added to the engine or the geometry types must preserve it
+// (internal/rebuild's concurrency test runs under -race to keep it
+// honest).
 func Run(cfg Config, errors []core.PartialStripeError) (*Result, error) {
 	cfg.Defaults()
 	if err := cfg.Validate(); err != nil {
@@ -298,12 +329,12 @@ func Run(cfg Config, errors []core.PartialStripeError) (*Result, error) {
 	if workers > len(errors) && len(errors) > 0 {
 		workers = len(errors)
 	}
-	perWorker := 0
-	if workers > 0 {
-		perWorker = cfg.CacheChunks / cfg.Workers // partition by configured workers
-	}
+	// Partition the cache by configured workers (idle partitions stay
+	// reserved), distributing the division remainder so the full
+	// configured capacity is usable.
+	parts := cachePartition(cfg.CacheChunks, cfg.Workers)
 	for i := 0; i < workers; i++ {
-		policy, err := cache.New(cfg.Policy, perWorker)
+		policy, err := cache.New(cfg.Policy, parts[i])
 		if err != nil {
 			return nil, err
 		}
