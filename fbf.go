@@ -45,6 +45,7 @@ import (
 	"fbf/internal/rebuild"
 	"fbf/internal/sim"
 	"fbf/internal/trace"
+	"fbf/internal/verify"
 )
 
 // Geometry types.
@@ -284,4 +285,29 @@ var (
 	RenderTable5 = experiments.RenderTable5
 	// RenderSchemeAblation prints the scheme ablation table.
 	RenderSchemeAblation = experiments.RenderSchemeAblation
+)
+
+// Verification (byte-level conformance; see "Correctness" in DESIGN.md).
+type (
+	// VerifyStripeConfig parameterizes a recovery conformance sweep.
+	VerifyStripeConfig = verify.StripeConfig
+	// VerifyStripeReport summarizes one conformance sweep.
+	VerifyStripeReport = verify.StripeReport
+	// VerifyCacheConfig parameterizes a cache-policy model check.
+	VerifyCacheConfig = verify.CacheConfig
+	// VerifyCacheReport summarizes one cache-policy model check.
+	VerifyCacheReport = verify.CacheReport
+)
+
+// Verification functions.
+var (
+	// VerifyRecovery sweeps every single-disk partial-stripe error
+	// pattern, recovering real bytes through the generated schemes and
+	// cross-checking against the GF(2) decoder oracle.
+	VerifyRecovery = verify.SweepStripes
+	// VerifyCachePolicy model-checks a registered cache policy against
+	// its executable reference specification.
+	VerifyCachePolicy = verify.CheckCache
+	// VerifiedPolicies lists the policies the model checker covers.
+	VerifiedPolicies = verify.CheckedPolicies
 )

@@ -1,0 +1,71 @@
+package codes
+
+import (
+	"bytes"
+	"testing"
+)
+
+// placementPrimes is the prime menu FuzzPlacement indexes into. Small
+// primes keep the per-exec GF(2) elimination cheap while still covering
+// two distinct wrap geometries.
+var placementPrimes = []int{5, 7}
+
+// FuzzPlacement fuzzes the vertical placement family constructor: any
+// (prime, B, S2, C, S3, IncludeHCol) tuple must either be rejected with
+// an error (parity-column collision, reused diagonal class) or produce a
+// self-consistent code — correct dimensions, verifiable encoding, and
+// byte-exact single-column recovery for every disk. This is the
+// generator behind the TIP and HDD1 stand-ins, so a silent geometry bug
+// here corrupts every downstream experiment.
+func FuzzPlacement(f *testing.F) {
+	f.Add(0, 0, 1, 1, 2, false) // TIPPlacement at p=5
+	f.Add(1, 0, 0, 6, 6, false) // HDD1Placement at p=7
+	f.Add(0, 2, 3, 4, 1, true)  // RDP-style: horizontal parity inside diagonals
+	f.Fuzz(func(t *testing.T, pIdx, b, s2, c, s3 int, include bool) {
+		if pIdx < 0 || pIdx >= len(placementPrimes) {
+			t.Skip()
+		}
+		p := placementPrimes[pIdx]
+		if b < 0 || b >= p || s2 < 0 || s2 >= p || c < 0 || c >= p || s3 < 0 || s3 >= p {
+			t.Skip()
+		}
+		prm := PlacementParams{B: b, S2: s2, C: c, S3: s3, IncludeHCol: include}
+		code, err := buildVertical("fuzz", p, prm)
+		if err != nil {
+			return // rejected placements are fine; they must just not panic
+		}
+		if code.Rows() != p-1 || code.Disks() != p+1 {
+			t.Fatalf("%+v: got %dx%d grid, want %dx%d", prm, code.Rows(), code.Disks(), p-1, p+1)
+		}
+		stripe := code.MaterializeStripe(1, 16)
+		if !code.Verify(stripe) {
+			t.Fatalf("%+v: encoded stripe fails parity verification", prm)
+		}
+		// Every single column must be recoverable: horizontal chains alone
+		// cover each cell of a column exactly once.
+		for col := 0; col < code.Disks(); col++ {
+			if !code.CanRecoverColumns(col) {
+				t.Fatalf("%+v: single column %d reported unrecoverable", prm, col)
+			}
+			lost := code.Layout().ColumnCells(col)
+			damaged := make(Stripe, len(stripe))
+			for i, ch := range stripe {
+				damaged[i] = bytes.Clone(ch)
+			}
+			for _, cell := range lost {
+				for i := range damaged[code.CellIndex(cell)] {
+					damaged[code.CellIndex(cell)][i] = 0xA5
+				}
+			}
+			if err := code.Recover(damaged, lost); err != nil {
+				t.Fatalf("%+v: recover column %d: %v", prm, col, err)
+			}
+			for _, cell := range lost {
+				idx := code.CellIndex(cell)
+				if !bytes.Equal(damaged[idx], stripe[idx]) {
+					t.Fatalf("%+v: column %d cell %v not byte-identical after recovery", prm, col, cell)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"fbf/internal/cache"
+)
+
+// fbfModel is an executable statement of FBF's queue invariants: three
+// ordered lists (LRU first), demote-exactly-one-level on hit, admit at
+// the clamped priority in force at admission time, evict from the
+// lowest non-empty queue. It additionally tracks, per resident chunk,
+// the priority it was admitted with and the hits it has absorbed since,
+// to assert the paper's semantic claim that a chunk sits in the queue
+// matching its remaining reuse count.
+type fbfModel struct {
+	cap    int
+	queues [3][]cache.ChunkID
+	admit  map[cache.ChunkID]int // clamped priority at admission
+	hits   map[cache.ChunkID]int // hits since admission
+}
+
+func newFBFModel(capacity int) *fbfModel {
+	return &fbfModel{
+		cap:   capacity,
+		admit: map[cache.ChunkID]int{},
+		hits:  map[cache.ChunkID]int{},
+	}
+}
+
+func (m *fbfModel) queueOf(id cache.ChunkID) int {
+	for q := range m.queues {
+		for _, r := range m.queues[q] {
+			if r == id {
+				return q
+			}
+		}
+	}
+	return -1
+}
+
+// request mirrors FBF.Request and returns (hit, queue the chunk landed
+// in) so the caller can assert the one-level-demotion rule directly.
+func (m *fbfModel) request(id cache.ChunkID, prio int) (bool, int) {
+	if q := m.queueOf(id); q >= 0 {
+		m.hits[id]++
+		for i, r := range m.queues[q] {
+			if r == id {
+				m.queues[q] = append(m.queues[q][:i], m.queues[q][i+1:]...)
+				break
+			}
+		}
+		if q > 0 {
+			q--
+		}
+		m.queues[q] = append(m.queues[q], id)
+		return true, q
+	}
+	if m.cap == 0 {
+		return false, -1
+	}
+	if len(m.admit) >= m.cap {
+		for q := range m.queues {
+			if len(m.queues[q]) > 0 {
+				victim := m.queues[q][0]
+				m.queues[q] = m.queues[q][1:]
+				delete(m.admit, victim)
+				delete(m.hits, victim)
+				break
+			}
+		}
+	}
+	q := clampPriority(prio) - 1
+	m.queues[q] = append(m.queues[q], id)
+	m.admit[id] = q + 1
+	m.hits[id] = 0
+	return false, q
+}
+
+// TestFBFQueueModelEquivalence drives FBF with randomized request streams and
+// periodic priority reinstallation (as the recovery engines do between
+// tasks), checking after every step that:
+//
+//  1. each queue's exact contents and LRU order match the model,
+//  2. a hit demotes the chunk exactly one level (Queue1 refreshes),
+//  3. every resident chunk sits in queue max(admit priority - hits, 1),
+//  4. eviction always drains Queue1 before Queue2 before Queue3.
+func TestFBFQueueModelEquivalence(t *testing.T) {
+	for _, capacity := range []int{1, 2, 3, 8} {
+		rng := rand.New(rand.NewSource(int64(41 * capacity)))
+		f := NewFBF(capacity)
+		model := newFBFModel(capacity)
+		prio := map[cache.ChunkID]int{}
+		universe := make([]cache.ChunkID, 4*capacity+8)
+		for i := range universe {
+			universe[i] = cache.ChunkID{Stripe: i}
+		}
+		for step := 0; step < 4000; step++ {
+			if step%64 == 0 {
+				prio = map[cache.ChunkID]int{}
+				for _, id := range universe {
+					if rng.Intn(2) == 0 {
+						prio[id] = rng.Intn(5) // includes out-of-range 0 and 4
+					}
+				}
+				f.SetPriorities(prio)
+			}
+			id := universe[rng.Intn(len(universe))]
+			before := model.queueOf(id)
+			hit := f.Request(id)
+			refHit, landed := model.request(id, prio[id])
+			if hit != refHit {
+				t.Fatalf("cap %d step %d: hit=%v, model says %v", capacity, step, hit, refHit)
+			}
+			if hit {
+				want := before
+				if want > 0 {
+					want--
+				}
+				if landed != want {
+					t.Fatalf("cap %d step %d: hit moved %v from queue %d to %d, want exactly one level",
+						capacity, step, id, before+1, landed+1)
+				}
+			}
+			for q := 1; q <= 3; q++ {
+				got := f.QueueContents(q)
+				want := model.queues[q-1]
+				if len(got) != len(want) {
+					t.Fatalf("cap %d step %d: queue %d has %d chunks, model has %d",
+						capacity, step, q, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("cap %d step %d: queue %d position %d is %v, model has %v",
+							capacity, step, q, i, got[i], want[i])
+					}
+				}
+				if f.QueueLen(q) != len(want) {
+					t.Fatalf("cap %d step %d: QueueLen(%d)=%d, contents have %d",
+						capacity, step, q, f.QueueLen(q), len(want))
+				}
+			}
+			// Remaining-reuse invariant: queue = max(admit priority - hits, 1).
+			for resident, admitted := range model.admit {
+				want := admitted - model.hits[resident]
+				if want < 1 {
+					want = 1
+				}
+				if got := model.queueOf(resident) + 1; got != want {
+					t.Fatalf("cap %d step %d: %v admitted at %d with %d hits sits in queue %d, want %d",
+						capacity, step, resident, admitted, model.hits[resident], got, want)
+				}
+			}
+		}
+		if f.Len() > capacity {
+			t.Fatalf("cap %d: %d residents exceed capacity", capacity, f.Len())
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package gf2
+
+import (
+	"testing"
+)
+
+// FuzzSolve fuzzes the symbolic GF(2) solver that serves as the
+// independent decode oracle for every erasure code in the repository.
+// Equations are decoded from the byte stream (low bits pick a symbol,
+// the high bit terminates the current equation); the unknown set comes
+// from a bitmask. For every solved unknown the returned expression must
+// (a) reference only known symbols and (b) lie in the row space of the
+// equations — checked by rank equality, which is itself independent of
+// the elimination order Solve used.
+func FuzzSolve(f *testing.F) {
+	f.Add(6, uint64(0b000101), []byte{0x00, 0x01, 0x82, 0x02, 0x03, 0x84, 0x04, 0x05, 0x80})
+	f.Add(4, uint64(0b1111), []byte{0x00, 0x81, 0x02, 0x83})
+	f.Add(8, uint64(0b10000001), []byte{0x00, 0x00, 0x87, 0x01, 0x02, 0x03, 0x84})
+	f.Fuzz(func(t *testing.T, symbols int, unknownMask uint64, data []byte) {
+		if symbols < 1 || symbols > 16 {
+			t.Skip()
+		}
+		var unknowns []int
+		for u := 0; u < symbols; u++ {
+			if unknownMask&(1<<uint(u)) != 0 {
+				unknowns = append(unknowns, u)
+			}
+		}
+		sys := NewSystem(symbols)
+		var equations [][]int
+		cur := []int{}
+		for _, b := range data {
+			cur = append(cur, int(b&0x7F)%symbols)
+			if b&0x80 != 0 {
+				sys.AddEquation(cur)
+				equations = append(equations, cur)
+				cur = []int{}
+				if len(equations) >= 24 {
+					break
+				}
+			}
+		}
+		if len(cur) > 0 {
+			sys.AddEquation(cur)
+			equations = append(equations, cur)
+		}
+
+		sol, unsolved := sys.Solve(unknowns)
+		if got, want := sys.Equations(), len(equations); got != want {
+			t.Fatalf("system has %d equations, want %d", got, want)
+		}
+		if sys.Solvable(unknowns) != (len(unsolved) == 0) {
+			t.Fatalf("Solvable disagrees with Solve's unsolved list %v", unsolved)
+		}
+
+		// Solved and unsolved must partition the unknown set.
+		seen := make(map[int]bool, len(unknowns))
+		for u := range sol.Terms {
+			seen[u] = true
+		}
+		for _, u := range unsolved {
+			if seen[u] {
+				t.Fatalf("unknown %d is both solved and unsolved", u)
+			}
+			seen[u] = true
+		}
+		if len(seen) != len(unknowns) {
+			t.Fatalf("solved+unsolved covers %d unknowns, want %d", len(seen), len(unknowns))
+		}
+		for _, u := range unknowns {
+			if !seen[u] {
+				t.Fatalf("unknown %d missing from both solved and unsolved", u)
+			}
+		}
+
+		isUnknown := make(map[int]bool, len(unknowns))
+		for _, u := range unknowns {
+			isUnknown[u] = true
+		}
+		// Row space of the original equations (repeated symbols cancel,
+		// matching GF(2) semantics).
+		base := NewMatrix(len(equations), symbols)
+		for r, eq := range equations {
+			for _, sym := range eq {
+				base.Flip(r, sym)
+			}
+		}
+		baseRank := base.Rank(symbols)
+		for u, terms := range sol.Terms {
+			for _, sym := range terms {
+				if isUnknown[sym] {
+					t.Fatalf("unknown %d solved in terms of unknown %d", u, sym)
+				}
+			}
+			// The identity u XOR terms... = 0 must be a linear combination
+			// of the input equations: appending its vector must not raise
+			// the rank.
+			ext := NewMatrix(len(equations)+1, symbols)
+			for r, eq := range equations {
+				for _, sym := range eq {
+					ext.Flip(r, sym)
+				}
+			}
+			ext.Flip(len(equations), u)
+			for _, sym := range terms {
+				ext.Flip(len(equations), sym)
+			}
+			if ext.Rank(symbols) != baseRank {
+				t.Fatalf("solution for unknown %d (terms %v) is not implied by the equations", u, terms)
+			}
+		}
+	})
+}

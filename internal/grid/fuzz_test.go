@@ -1,0 +1,148 @@
+package grid
+
+import (
+	"sort"
+	"testing"
+)
+
+// decodeChains turns a fuzz byte stream into a chain set plus parity
+// list. The decoder intentionally produces out-of-bounds cells, repeated
+// cells, duplicate chain ids and invalid kinds with nonzero probability
+// so NewLayout's validation paths stay exercised.
+func decodeChains(rows, cols int, data []byte) (parity []Coord, chains []Chain) {
+	next := func() (byte, bool) {
+		if len(data) == 0 {
+			return 0, false
+		}
+		b := data[0]
+		data = data[1:]
+		return b, true
+	}
+	cell := func(b byte) Coord {
+		// Bias toward in-bounds cells but keep a slice of the byte space
+		// mapping outside the grid.
+		return Coord{Row: int(b>>4) - 1, Col: int(b&0x0F) - 1}
+	}
+	for np, ok := next(); ok && np&0x03 == 0; np, ok = next() {
+		b, ok := next()
+		if !ok {
+			break
+		}
+		parity = append(parity, cell(b))
+	}
+	for len(chains) < 16 {
+		hdr, ok := next()
+		if !ok {
+			break
+		}
+		ch := Chain{Kind: ChainKind(hdr >> 6), Index: int(hdr & 0x07)}
+		n, ok := next()
+		if !ok {
+			break
+		}
+		for i := 0; i < int(n%8); i++ {
+			b, ok := next()
+			if !ok {
+				break
+			}
+			ch.Cells = append(ch.Cells, cell(b))
+		}
+		chains = append(chains, ch)
+	}
+	return parity, chains
+}
+
+// FuzzLayout fuzzes layout construction and its accessor contract: any
+// decoded geometry must either be rejected by NewLayout or yield a
+// layout whose lookup structures (by id, by cell, by kind) agree with
+// the flat chain list it was built from.
+func FuzzLayout(f *testing.F) {
+	f.Add(4, 6, []byte{0x00, 0x11, 0x01, 0x42, 0x03, 0x11, 0x12, 0x13})
+	f.Add(1, 1, []byte{0x01, 0x02, 0x11})
+	f.Add(4, 7, []byte{0x40, 0x04, 0x11, 0x22, 0x33, 0x44, 0x80, 0x02, 0x14, 0x23})
+	f.Fuzz(func(t *testing.T, rows, cols int, data []byte) {
+		if rows < 1 || rows > 8 || cols < 1 || cols > 8 {
+			t.Skip()
+		}
+		parity, chains := decodeChains(rows, cols, data)
+		l, err := NewLayout(rows, cols, parity, chains)
+		if err != nil {
+			return // rejection is a valid outcome; it must just not panic
+		}
+		if l.Rows() != rows || l.Cols() != cols || l.Cells() != rows*cols {
+			t.Fatalf("dimensions: got %dx%d (%d cells), want %dx%d",
+				l.Rows(), l.Cols(), l.Cells(), rows, cols)
+		}
+		if got, want := len(l.Chains()), len(chains); got != want {
+			t.Fatalf("Chains() has %d entries, want %d", got, want)
+		}
+		for i := range l.Chains() {
+			ch := &l.Chains()[i]
+			byID, ok := l.Chain(ch.ID())
+			if !ok || byID.Kind != ch.Kind || byID.Index != ch.Index {
+				t.Fatalf("Chain(%v) round-trip failed", ch.ID())
+			}
+			lost := map[Coord]bool{}
+			if len(ch.Cells) > 0 {
+				lost[ch.Cells[0]] = true
+			}
+			surv := ch.Survivors(lost)
+			if len(surv) != len(ch.Cells)-len(lost) {
+				t.Fatalf("chain %v: %d survivors of %d cells with %d lost",
+					ch.ID(), len(surv), len(ch.Cells), len(lost))
+			}
+			for _, cell := range ch.Cells {
+				if !l.InBounds(cell) {
+					t.Fatalf("accepted layout has out-of-bounds cell %v", cell)
+				}
+				if !ch.Contains(cell) {
+					t.Fatalf("chain %v does not Contain its own cell %v", ch.ID(), cell)
+				}
+				through := l.ChainsThrough(cell)
+				found := false
+				for k, c2 := range through {
+					if k > 0 && (through[k-1].Kind > c2.Kind ||
+						(through[k-1].Kind == c2.Kind && through[k-1].Index > c2.Index)) {
+						t.Fatalf("ChainsThrough(%v) not sorted", cell)
+					}
+					if c2.ID() == ch.ID() {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("ChainsThrough(%v) misses chain %v", cell, ch.ID())
+				}
+				byKind, ok := l.ChainThrough(cell, ch.Kind)
+				if !ok || byKind.Kind != ch.Kind || !byKind.Contains(cell) {
+					t.Fatalf("ChainThrough(%v, %v) inconsistent", cell, ch.Kind)
+				}
+			}
+		}
+		// Data and parity cells partition the grid, both in row-major order.
+		dc, pc := l.DataCells(), l.ParityCells()
+		if len(dc)+len(pc) != l.Cells() {
+			t.Fatalf("data (%d) + parity (%d) != cells (%d)", len(dc), len(pc), l.Cells())
+		}
+		all := append(append([]Coord{}, dc...), pc...)
+		sort.Slice(all, func(i, j int) bool { return all[i].Less(all[j]) })
+		idx := 0
+		for r := 0; r < rows; r++ {
+			for c := 0; c < cols; c++ {
+				if all[idx] != (Coord{Row: r, Col: c}) {
+					t.Fatalf("partition misses or repeats cell C(%d,%d)", r, c)
+				}
+				idx++
+			}
+		}
+		for _, cell := range dc {
+			if l.IsParity(cell) {
+				t.Fatalf("data cell %v reported as parity", cell)
+			}
+		}
+		for _, cell := range pc {
+			if !l.IsParity(cell) {
+				t.Fatalf("parity cell %v not reported as parity", cell)
+			}
+		}
+	})
+}

@@ -1,0 +1,52 @@
+package rebuild
+
+import (
+	"testing"
+
+	"fbf/internal/codes"
+	"fbf/internal/core"
+)
+
+// TestVerifyDataDoesNotPerturbSimulation pins the separation between
+// the data plane and the timing plane: carrying and XOR-checking real
+// chunk contents (VerifyData) must leave every simulation observable —
+// cache behaviour, disk traffic, response times, makespan — bit-for-bit
+// identical to the contents-free run. A drift here would mean the
+// conformance harness and the performance experiments are measuring
+// different systems.
+func TestVerifyDataDoesNotPerturbSimulation(t *testing.T) {
+	for _, name := range codes.Names() {
+		code := codes.MustNew(name, 5)
+		errors := genErrors(t, code, 16, 80, 33)
+		for _, policy := range []string{"fbf", "lru"} {
+			base := Config{
+				Code: code, Policy: policy, Strategy: core.StrategyLooped,
+				Workers: 4, CacheChunks: 24, Stripes: 80, ChunkSize: 128,
+			}
+			plain, err := Run(base, errors)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, policy, err)
+			}
+			base.VerifyData = true
+			verified, err := Run(base, errors)
+			if err != nil {
+				t.Fatalf("%s/%s verify: %v", name, policy, err)
+			}
+			if plain.Cache != verified.Cache {
+				t.Errorf("%s/%s: cache stats drift: %+v vs %+v", name, policy, plain.Cache, verified.Cache)
+			}
+			if plain.DiskReads != verified.DiskReads || plain.DiskWrites != verified.DiskWrites {
+				t.Errorf("%s/%s: disk traffic drift: %d/%d vs %d/%d reads/writes",
+					name, policy, plain.DiskReads, plain.DiskWrites, verified.DiskReads, verified.DiskWrites)
+			}
+			if plain.SumResponse != verified.SumResponse || plain.Makespan != verified.Makespan {
+				t.Errorf("%s/%s: timing drift: response %v vs %v, makespan %v vs %v",
+					name, policy, plain.SumResponse, verified.SumResponse, plain.Makespan, verified.Makespan)
+			}
+			if plain.VerifiedChunks != 0 || verified.VerifiedChunks == 0 {
+				t.Errorf("%s/%s: VerifiedChunks %d/%d, want 0 without and >0 with VerifyData",
+					name, policy, plain.VerifiedChunks, verified.VerifiedChunks)
+			}
+		}
+	}
+}

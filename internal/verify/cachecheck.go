@@ -1,0 +1,663 @@
+package verify
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"fbf/internal/cache"
+	"fbf/internal/grid"
+)
+
+// CacheConfig parameterizes one policy model-check run.
+type CacheConfig struct {
+	Policy            string
+	Capacity          int
+	Steps             int   // requests to replay (default 10000)
+	Seed              int64 // stream RNG seed
+	Universe          int   // distinct chunk ids (default 4*capacity, min 16)
+	ReprioritizeEvery int   // steps between fresh FBF priority dictionaries (default 64)
+}
+
+// CacheReport summarizes one model-check run.
+type CacheReport struct {
+	Policy   string
+	Capacity int
+	Steps    int
+	Stats    cache.Stats
+}
+
+// String renders the report compactly.
+func (r *CacheReport) String() string {
+	return fmt.Sprintf("%s(cap=%d): %d steps, %d hits / %d misses / %d evictions, zero divergence",
+		r.Policy, r.Capacity, r.Steps, r.Stats.Hits, r.Stats.Misses, r.Stats.Evictions)
+}
+
+// CheckedPolicies lists the policies the checker has reference models
+// for ("opt" is excluded: Belady needs the future sequence and has its
+// own dedicated cross-check in internal/cache).
+func CheckedPolicies() []string {
+	return []string{"fbf", "fifo", "lru", "lfu", "arc", "2q", "lru2", "lrfu"}
+}
+
+// refPolicy is a reference replacement-policy model: a deliberately
+// naive, slice-based transcription of the policy's published rules.
+// request processes one access given the victims the production policy
+// actually evicted on this step (empty on hits and capacity-free
+// misses); deterministic models predict the victim themselves and the
+// driver's residency diff catches any disagreement, while models with
+// genuine tie-freedom (LRFU's equal-CRF blocks) validate the observed
+// victim instead and adopt it.
+type refPolicy interface {
+	request(id cache.ChunkID, evicted []cache.ChunkID) (hit bool, err error)
+	resident() []cache.ChunkID
+}
+
+// refPriorityAware mirrors cache.PriorityAware for reference models.
+type refPriorityAware interface {
+	setPriorities(p map[cache.ChunkID]int)
+}
+
+// newRef constructs the reference model for a policy name.
+func newRef(name string, capacity int, lambda float64) (refPolicy, error) {
+	switch name {
+	case "fbf":
+		return &refFBF{cap: capacity, prio: map[cache.ChunkID]int{}}, nil
+	case "fifo":
+		return &refFIFO{cap: capacity}, nil
+	case "lru":
+		return &refLRU{cap: capacity}, nil
+	case "lfu":
+		return &refLFU{cap: capacity}, nil
+	case "arc":
+		return &refARC{cap: capacity}, nil
+	case "2q":
+		return newRefTwoQ(capacity), nil
+	case "lru2":
+		return &refLRU2{cap: capacity}, nil
+	case "lrfu":
+		return &refLRFU{cap: capacity, lambda: lambda}, nil
+	default:
+		return nil, fmt.Errorf("verify: no reference model for policy %q", name)
+	}
+}
+
+// CheckCache drives the production policy and its reference model
+// through the same randomized request stream and compares hit/miss
+// decisions and the full resident set step by step, plus the aggregate
+// event counters at the end. Any disagreement returns an error naming
+// the first divergent step.
+func CheckCache(cfg CacheConfig) (*CacheReport, error) {
+	if cfg.Steps <= 0 {
+		cfg.Steps = 10000
+	}
+	if cfg.Capacity < 0 {
+		return nil, fmt.Errorf("verify: negative capacity %d", cfg.Capacity)
+	}
+	universe := cfg.Universe
+	if universe <= 0 {
+		universe = 4 * cfg.Capacity
+	}
+	if universe < 16 {
+		universe = 16
+	}
+	reprio := cfg.ReprioritizeEvery
+	if reprio <= 0 {
+		reprio = 64
+	}
+
+	pol, err := cache.New(cfg.Policy, cfg.Capacity)
+	if err != nil {
+		return nil, err
+	}
+	lambda := 0.0
+	if lp, ok := pol.(interface{ Lambda() float64 }); ok {
+		lambda = lp.Lambda()
+	}
+	ref, err := newRef(cfg.Policy, cfg.Capacity, lambda)
+	if err != nil {
+		return nil, err
+	}
+
+	ids := make([]cache.ChunkID, universe)
+	for k := range ids {
+		ids[k] = cache.ChunkID{Stripe: k / 16, Cell: grid.Coord{Row: (k % 16) / 4, Col: k % 4}}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	hot := universe / 10
+	if hot < 1 {
+		hot = 1
+	}
+	scan := 0
+
+	var evictions uint64
+	var hits, misses uint64
+	for step := 0; step < cfg.Steps; step++ {
+		if step%reprio == 0 {
+			prio := make(map[cache.ChunkID]int)
+			for _, id := range ids {
+				if rng.Intn(2) == 0 {
+					prio[id] = 1 + rng.Intn(4)
+				}
+			}
+			if pa, ok := pol.(cache.PriorityAware); ok {
+				pa.SetPriorities(prio)
+			}
+			if ra, ok := ref.(refPriorityAware); ok {
+				ra.setPriorities(prio)
+			}
+		}
+
+		// Mixed stream: mostly uniform with a hot set and a sequential
+		// scan, exercising recency, frequency and ghost-queue behavior.
+		var id cache.ChunkID
+		switch draw := rng.Float64(); {
+		case draw < 0.25:
+			id = ids[rng.Intn(hot)]
+		case draw < 0.40:
+			id = ids[scan]
+			scan = (scan + 1) % universe
+		default:
+			id = ids[rng.Intn(universe)]
+		}
+
+		before := make(map[cache.ChunkID]bool)
+		for _, r := range ref.resident() {
+			before[r] = true
+		}
+		hit := pol.Request(id)
+		var evicted []cache.ChunkID
+		for r := range before {
+			if !pol.Contains(r) && r != id {
+				evicted = append(evicted, r)
+			}
+		}
+		evictions += uint64(len(evicted))
+		if hit {
+			hits++
+		} else {
+			misses++
+		}
+
+		refHit, err := ref.request(id, evicted)
+		if err != nil {
+			return nil, fmt.Errorf("verify: %s cap=%d step %d id=%v: %w", cfg.Policy, cfg.Capacity, step, id, err)
+		}
+		if hit != refHit {
+			return nil, fmt.Errorf("verify: %s cap=%d step %d id=%v: policy says hit=%v, model says hit=%v",
+				cfg.Policy, cfg.Capacity, step, id, hit, refHit)
+		}
+		res := ref.resident()
+		if pol.Len() != len(res) {
+			return nil, fmt.Errorf("verify: %s cap=%d step %d id=%v: policy holds %d chunks, model %d",
+				cfg.Policy, cfg.Capacity, step, id, pol.Len(), len(res))
+		}
+		for _, r := range res {
+			if !pol.Contains(r) {
+				return nil, fmt.Errorf("verify: %s cap=%d step %d id=%v: model-resident chunk %v missing from policy",
+					cfg.Policy, cfg.Capacity, step, id, r)
+			}
+		}
+	}
+
+	st := pol.Stats()
+	if st.Hits != hits || st.Misses != misses {
+		return nil, fmt.Errorf("verify: %s cap=%d: stats report %d/%d hits/misses, driver observed %d/%d",
+			cfg.Policy, cfg.Capacity, st.Hits, st.Misses, hits, misses)
+	}
+	if st.Evictions != evictions {
+		return nil, fmt.Errorf("verify: %s cap=%d: stats report %d evictions, residency diffs observed %d",
+			cfg.Policy, cfg.Capacity, st.Evictions, evictions)
+	}
+	return &CacheReport{Policy: cfg.Policy, Capacity: cfg.Capacity, Steps: cfg.Steps, Stats: st}, nil
+}
+
+// ---- shared slice helpers ----
+
+func sliceRemove(list []cache.ChunkID, id cache.ChunkID) []cache.ChunkID {
+	for i, v := range list {
+		if v == id {
+			return append(list[:i:i], list[i+1:]...)
+		}
+	}
+	return list
+}
+
+func sliceHas(list []cache.ChunkID, id cache.ChunkID) bool {
+	for _, v := range list {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}
+
+// ---- FIFO ----
+
+type refFIFO struct {
+	cap   int
+	queue []cache.ChunkID
+}
+
+func (r *refFIFO) resident() []cache.ChunkID { return r.queue }
+
+func (r *refFIFO) request(id cache.ChunkID, _ []cache.ChunkID) (bool, error) {
+	if sliceHas(r.queue, id) {
+		return true, nil
+	}
+	if r.cap == 0 {
+		return false, nil
+	}
+	if len(r.queue) >= r.cap {
+		r.queue = r.queue[1:]
+	}
+	r.queue = append(r.queue, id)
+	return false, nil
+}
+
+// ---- LRU ----
+
+type refLRU struct {
+	cap   int
+	queue []cache.ChunkID // index 0 = LRU end
+}
+
+func (r *refLRU) resident() []cache.ChunkID { return r.queue }
+
+func (r *refLRU) request(id cache.ChunkID, _ []cache.ChunkID) (bool, error) {
+	if sliceHas(r.queue, id) {
+		r.queue = append(sliceRemove(r.queue, id), id)
+		return true, nil
+	}
+	if r.cap == 0 {
+		return false, nil
+	}
+	if len(r.queue) >= r.cap {
+		r.queue = r.queue[1:]
+	}
+	r.queue = append(r.queue, id)
+	return false, nil
+}
+
+// ---- LFU ----
+
+// refLFU: victim = lowest frequency, ties broken by the oldest bucket
+// insertion (seq), matching frequency buckets that are LRU internally.
+type refLFU struct {
+	cap     int
+	clock   uint64
+	entries []*refLFUEntry
+}
+
+type refLFUEntry struct {
+	id   cache.ChunkID
+	freq uint64
+	seq  uint64 // clock of the last frequency change (bucket insertion)
+}
+
+func (r *refLFU) resident() []cache.ChunkID {
+	out := make([]cache.ChunkID, len(r.entries))
+	for i, e := range r.entries {
+		out[i] = e.id
+	}
+	return out
+}
+
+func (r *refLFU) request(id cache.ChunkID, _ []cache.ChunkID) (bool, error) {
+	r.clock++
+	for _, e := range r.entries {
+		if e.id == id {
+			e.freq++
+			e.seq = r.clock
+			return true, nil
+		}
+	}
+	if r.cap == 0 {
+		return false, nil
+	}
+	if len(r.entries) >= r.cap {
+		victim := 0
+		for i, e := range r.entries {
+			v := r.entries[victim]
+			if e.freq < v.freq || (e.freq == v.freq && e.seq < v.seq) {
+				victim = i
+			}
+		}
+		r.entries = append(r.entries[:victim], r.entries[victim+1:]...)
+	}
+	r.entries = append(r.entries, &refLFUEntry{id: id, freq: 1, seq: r.clock})
+	return false, nil
+}
+
+// ---- FBF ----
+
+// refFBF transcribes Algorithm 1: admit into the queue matching the
+// chunk's priority, demote one queue per hit (refresh recency within
+// Queue1), evict Queue1 -> Queue2 -> Queue3 in LRU order.
+type refFBF struct {
+	cap    int
+	prio   map[cache.ChunkID]int
+	queues [3][]cache.ChunkID // index 0 = Queue1; slice index 0 = LRU end
+}
+
+func (r *refFBF) setPriorities(p map[cache.ChunkID]int) {
+	if p == nil {
+		p = map[cache.ChunkID]int{}
+	}
+	r.prio = p
+}
+
+func (r *refFBF) resident() []cache.ChunkID {
+	var out []cache.ChunkID
+	for q := range r.queues {
+		out = append(out, r.queues[q]...)
+	}
+	return out
+}
+
+func (r *refFBF) request(id cache.ChunkID, _ []cache.ChunkID) (bool, error) {
+	for q := 2; q >= 0; q-- {
+		if sliceHas(r.queues[q], id) {
+			r.queues[q] = sliceRemove(r.queues[q], id)
+			dst := q - 1
+			if dst < 0 {
+				dst = 0
+			}
+			r.queues[dst] = append(r.queues[dst], id)
+			return true, nil
+		}
+	}
+	if r.cap == 0 {
+		return false, nil
+	}
+	if len(r.queues[0])+len(r.queues[1])+len(r.queues[2]) >= r.cap {
+		for q := 0; q < 3; q++ {
+			if len(r.queues[q]) > 0 {
+				r.queues[q] = r.queues[q][1:]
+				break
+			}
+		}
+	}
+	p := r.prio[id]
+	if p < 1 {
+		p = 1
+	}
+	if p > 3 {
+		p = 3
+	}
+	r.queues[p-1] = append(r.queues[p-1], id)
+	return false, nil
+}
+
+// ---- ARC ----
+
+// refARC transcribes the ARC paper's Figure 4 pseudocode with the same
+// REPLACE emptiness fallback as the production cache (see
+// internal/cache/arc.go).
+type refARC struct {
+	cap, p         int
+	t1, t2, b1, b2 []cache.ChunkID
+}
+
+func (r *refARC) resident() []cache.ChunkID {
+	return append(append([]cache.ChunkID{}, r.t1...), r.t2...)
+}
+
+func (r *refARC) replace(inB2 bool) {
+	fromT1 := len(r.t1) >= 1 && ((inB2 && len(r.t1) == r.p) || len(r.t1) > r.p)
+	if !fromT1 && len(r.t2) == 0 {
+		if len(r.t1) == 0 {
+			return
+		}
+		fromT1 = true
+	}
+	if fromT1 {
+		id := r.t1[0]
+		r.t1 = r.t1[1:]
+		r.b1 = append(r.b1, id)
+	} else {
+		id := r.t2[0]
+		r.t2 = r.t2[1:]
+		r.b2 = append(r.b2, id)
+	}
+}
+
+func (r *refARC) request(id cache.ChunkID, _ []cache.ChunkID) (bool, error) {
+	c := r.cap
+	if c == 0 {
+		return false, nil
+	}
+	switch {
+	case sliceHas(r.t1, id) || sliceHas(r.t2, id): // Case I
+		r.t1 = sliceRemove(r.t1, id)
+		r.t2 = append(sliceRemove(r.t2, id), id)
+		return true, nil
+	case sliceHas(r.b1, id): // Case II
+		delta := 1
+		if len(r.b2) > len(r.b1) {
+			delta = len(r.b2) / len(r.b1)
+		}
+		r.p = min(c, r.p+delta)
+		r.replace(false)
+		r.b1 = sliceRemove(r.b1, id)
+		r.t2 = append(r.t2, id)
+		return false, nil
+	case sliceHas(r.b2, id): // Case III
+		delta := 1
+		if len(r.b1) > len(r.b2) {
+			delta = len(r.b1) / len(r.b2)
+		}
+		r.p = max(0, r.p-delta)
+		r.replace(true)
+		r.b2 = sliceRemove(r.b2, id)
+		r.t2 = append(r.t2, id)
+		return false, nil
+	}
+	// Case IV: completely new page.
+	l1 := len(r.t1) + len(r.b1)
+	if l1 == c {
+		if len(r.t1) < c {
+			r.b1 = r.b1[1:]
+			r.replace(false)
+		} else {
+			r.t1 = r.t1[1:]
+		}
+	} else if l1 < c {
+		total := l1 + len(r.t2) + len(r.b2)
+		if total >= c {
+			if total == 2*c {
+				r.b2 = r.b2[1:]
+			}
+			r.replace(false)
+		}
+	}
+	r.t1 = append(r.t1, id)
+	return false, nil
+}
+
+// ---- 2Q ----
+
+// refTwoQ transcribes the full 2Q of Johnson & Shasha with the same
+// Kin/Kout tuning as the production cache.
+type refTwoQ struct {
+	cap, kin, kout  int
+	a1in, a1out, am []cache.ChunkID
+}
+
+func newRefTwoQ(capacity int) *refTwoQ {
+	kin := capacity / 4
+	if kin < 1 && capacity > 0 {
+		kin = 1
+	}
+	kout := capacity / 2
+	if kout < 1 && capacity > 0 {
+		kout = 1
+	}
+	return &refTwoQ{cap: capacity, kin: kin, kout: kout}
+}
+
+func (r *refTwoQ) resident() []cache.ChunkID {
+	return append(append([]cache.ChunkID{}, r.a1in...), r.am...)
+}
+
+func (r *refTwoQ) reclaim() {
+	if len(r.a1in) > r.kin || len(r.am) == 0 {
+		id := r.a1in[0]
+		r.a1in = r.a1in[1:]
+		r.a1out = append(r.a1out, id)
+		if len(r.a1out) > r.kout {
+			r.a1out = r.a1out[1:]
+		}
+	} else {
+		r.am = r.am[1:]
+	}
+}
+
+func (r *refTwoQ) request(id cache.ChunkID, _ []cache.ChunkID) (bool, error) {
+	switch {
+	case sliceHas(r.am, id):
+		r.am = append(sliceRemove(r.am, id), id)
+		return true, nil
+	case sliceHas(r.a1in, id): // probation pages stay in place
+		return true, nil
+	case sliceHas(r.a1out, id): // ghost hit: promote to Am
+		if r.cap == 0 {
+			return false, nil
+		}
+		r.a1out = sliceRemove(r.a1out, id)
+		if len(r.a1in)+len(r.am) >= r.cap {
+			r.reclaim()
+		}
+		r.am = append(r.am, id)
+		return false, nil
+	}
+	if r.cap == 0 {
+		return false, nil
+	}
+	if len(r.a1in)+len(r.am) >= r.cap {
+		r.reclaim()
+	}
+	r.a1in = append(r.a1in, id)
+	return false, nil
+}
+
+// ---- LRU-2 ----
+
+// refLRU2: the victim is the chunk with the oldest second-most-recent
+// access (no-history chunks first), ties by oldest last access.
+type refLRU2 struct {
+	cap     int
+	clock   uint64
+	entries []*refLRU2Entry
+}
+
+type refLRU2Entry struct {
+	id         cache.ChunkID
+	last, prev uint64
+}
+
+func (r *refLRU2) resident() []cache.ChunkID {
+	out := make([]cache.ChunkID, len(r.entries))
+	for i, e := range r.entries {
+		out[i] = e.id
+	}
+	return out
+}
+
+func (r *refLRU2) request(id cache.ChunkID, _ []cache.ChunkID) (bool, error) {
+	r.clock++
+	for _, e := range r.entries {
+		if e.id == id {
+			e.prev = e.last
+			e.last = r.clock
+			return true, nil
+		}
+	}
+	if r.cap == 0 {
+		return false, nil
+	}
+	if len(r.entries) >= r.cap {
+		victim := 0
+		for i, e := range r.entries {
+			v := r.entries[victim]
+			if e.prev < v.prev || (e.prev == v.prev && e.last < v.last) {
+				victim = i
+			}
+		}
+		r.entries = append(r.entries[:victim], r.entries[victim+1:]...)
+	}
+	r.entries = append(r.entries, &refLRU2Entry{id: id, last: r.clock})
+	return false, nil
+}
+
+// ---- LRFU ----
+
+// refLRFU recomputes every resident block's CRF from its stored value
+// and checks that the production policy's victim carries the minimum
+// CRF (within float tolerance) — the one model with genuine
+// tie-freedom, since equal CRFs permit either victim. The observed
+// victim is adopted so the models stay in lockstep.
+type refLRFU struct {
+	cap     int
+	lambda  float64
+	clock   uint64
+	entries []*refLRFUEntry
+}
+
+type refLRFUEntry struct {
+	id   cache.ChunkID
+	crf  float64 // valued at last
+	last uint64
+}
+
+func (r *refLRFU) crfAt(e *refLRFUEntry, now uint64) float64 {
+	return e.crf * math.Pow(0.5, r.lambda*float64(now-e.last))
+}
+
+func (r *refLRFU) resident() []cache.ChunkID {
+	out := make([]cache.ChunkID, len(r.entries))
+	for i, e := range r.entries {
+		out[i] = e.id
+	}
+	return out
+}
+
+func (r *refLRFU) request(id cache.ChunkID, evicted []cache.ChunkID) (bool, error) {
+	r.clock++
+	for _, e := range r.entries {
+		if e.id == id {
+			e.crf = 1 + r.crfAt(e, r.clock)
+			e.last = r.clock
+			return true, nil
+		}
+	}
+	if r.cap == 0 {
+		return false, nil
+	}
+	if len(r.entries) >= r.cap {
+		if len(evicted) != 1 {
+			return false, fmt.Errorf("full LRFU cache evicted %d chunks on a miss, want 1", len(evicted))
+		}
+		minCRF := math.Inf(1)
+		victimIdx := -1
+		for i, e := range r.entries {
+			v := r.crfAt(e, r.clock)
+			if v < minCRF {
+				minCRF = v
+			}
+			if e.id == evicted[0] {
+				victimIdx = i
+			}
+		}
+		if victimIdx < 0 {
+			return false, fmt.Errorf("policy evicted %v which the model does not hold", evicted[0])
+		}
+		got := r.crfAt(r.entries[victimIdx], r.clock)
+		if got > minCRF*(1+1e-9)+1e-12 {
+			return false, fmt.Errorf("policy evicted %v with CRF %g, minimum resident CRF is %g", evicted[0], got, minCRF)
+		}
+		r.entries = append(r.entries[:victimIdx], r.entries[victimIdx+1:]...)
+	}
+	r.entries = append(r.entries, &refLRFUEntry{id: id, crf: 1, last: r.clock})
+	return false, nil
+}

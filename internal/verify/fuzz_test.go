@@ -1,0 +1,67 @@
+package verify
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"fbf/internal/codes"
+	"fbf/internal/core"
+)
+
+// fuzzPrimes is the prime menu the fuzzer indexes into: the smallest
+// geometry each family supports in its verified regime up to the
+// paper's largest evaluated prime.
+var fuzzPrimes = []int{5, 7, 11, 13}
+
+// codeCache memoizes code construction across fuzz iterations; building
+// a code runs GF(2) elimination and would dominate the fuzz loop.
+var codeCache sync.Map // "name/p" -> *codes.Code
+
+func cachedCode(tb testing.TB, name string, p int) *codes.Code {
+	key := fmt.Sprintf("%s/%d", name, p)
+	if c, ok := codeCache.Load(key); ok {
+		return c.(*codes.Code)
+	}
+	c, err := codes.New(name, p)
+	if err != nil {
+		tb.Fatalf("codes.New(%s, %d): %v", name, p, err)
+	}
+	codeCache.Store(key, c)
+	return c
+}
+
+// FuzzSchemeRecovery fuzzes the full scheme-generation-and-replay
+// pipeline: an arbitrary (code, prime, error pattern, strategy, data
+// seed) tuple must either be rejected by validation or recover
+// byte-identically through both the selected chains and the gf2
+// decoder oracle. The checked-in corpus (testdata/fuzz) pins the
+// known-tricky geometries so plain `go test` replays them as
+// regression cases.
+func FuzzSchemeRecovery(f *testing.F) {
+	// Smallest prime, first disk, single chunk.
+	f.Add(0, 0, 0, 0, 1, 0, int64(1))
+	// Maximal error run on each family (size = p-1 = whole column).
+	f.Add(1, 0, 2, 0, 4, 1, int64(2))
+	// Chain-wrap case: run ending on the last row, diagonal-first.
+	f.Add(2, 1, 3, 2, 4, 1, int64(3))
+	// Parity-column error on STAR's anti-diagonal disk.
+	f.Add(1, 1, 9, 1, 3, 2, int64(4))
+	f.Fuzz(func(t *testing.T, codeIdx, pIdx, disk, row, size, strat int, seed int64) {
+		names := codes.Names()
+		if codeIdx < 0 || codeIdx >= len(names) || pIdx < 0 || pIdx >= len(fuzzPrimes) {
+			t.Skip()
+		}
+		if strat < 0 || strat >= len(Strategies()) {
+			t.Skip()
+		}
+		code := cachedCode(t, names[codeIdx], fuzzPrimes[pIdx])
+		e := core.PartialStripeError{Stripe: 0, Disk: disk, Row: row, Size: size}
+		if err := e.Validate(code); err != nil {
+			t.Skip()
+		}
+		if err := CheckPattern(code, e, Strategies()[strat], 32, seed); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
