@@ -5,6 +5,8 @@
 // Usage:
 //
 //	fbfsim [-fig 8|9|10|11] [-table 4|5] [-ablation]
+//	       [-durability] [-ure-rates 0,0.001,0.01] [-transient-rate R]
+//	       [-fault-seed N] [-second-failure-at MS] [-third-failure-at MS] [-trials N]
 //	       [-codes star,triplestar,tip,hdd1] [-p 7,11,13]
 //	       [-policies fifo,lru,lfu,arc,fbf] [-sizes 8,16,...,2048]
 //	       [-groups N] [-workers N] [-stripes N] [-seed N]
@@ -35,6 +37,13 @@ func main() {
 	ablation := flag.Bool("ablation", false, "run the chain-selection scheme ablation")
 	online := flag.Bool("online", false, "run the online-recovery (foreground load) experiment")
 	modes := flag.Bool("modes", false, "run the SOR-vs-DOR reconstruction-mode ablation")
+	durability := flag.Bool("durability", false, "run the fault-injection durability sweep (data-loss probability and repair makespan vs URE rate)")
+	faultSeed := flag.Int64("fault-seed", 1, "fault-schedule RNG seed for -durability")
+	ureRatesFlag := flag.String("ure-rates", "0,0.001,0.01", "comma-separated per-address URE rates for -durability")
+	transientRate := flag.Float64("transient-rate", 0.01, "per-attempt transient-timeout rate for -durability")
+	secondFailureAt := flag.Float64("second-failure-at", 0, "inject a second whole-disk failure at this simulated time (ms) during -durability; 0 disables")
+	thirdFailureAt := flag.Float64("third-failure-at", 0, "inject a third whole-disk failure at this simulated time (ms) during -durability; 0 disables")
+	trials := flag.Int("trials", 0, "fault schedules averaged per -durability row (default 5)")
 	codesFlag := flag.String("codes", "", "comma-separated code families (default: paper's four)")
 	primesFlag := flag.String("p", "", "comma-separated primes (default: per-figure paper values)")
 	policiesFlag := flag.String("policies", "", "comma-separated cache policies (default: paper's five)")
@@ -109,7 +118,7 @@ func main() {
 		log.Fatalf("bad -dist %q", *distFlag)
 	}
 
-	runAll := *figFlag == 0 && *tableFlag == 0 && !*ablation && !*online && !*modes
+	runAll := *figFlag == 0 && *tableFlag == 0 && !*ablation && !*online && !*modes && !*durability
 	out := os.Stdout
 
 	runFig := func(n int) {
@@ -225,6 +234,35 @@ func main() {
 		fmt.Fprintln(out)
 	}
 
+	runDurability := func() {
+		p := params
+		if *codesFlag == "" {
+			p.Codes = []string{"tip"}
+		}
+		if *primesFlag == "" {
+			p.Primes = []int{7}
+		}
+		rates, err := cli.ParseFloats(*ureRatesFlag)
+		if err != nil {
+			log.Fatalf("bad -ure-rates: %v", err)
+		}
+		rows, err := fbf.Durability(p, fbf.DurabilityConfig{
+			URERates:        rates,
+			TransientRate:   *transientRate,
+			FaultSeed:       *faultSeed,
+			Trials:          *trials,
+			SecondFailureAt: fbf.SimTime(*secondFailureAt * float64(fbf.Millisecond)),
+			ThirdFailureAt:  fbf.SimTime(*thirdFailureAt * float64(fbf.Millisecond)),
+		})
+		if err != nil {
+			log.Fatalf("durability: %v", err)
+		}
+		if err := fbf.RenderDurability(out, rows); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintln(out)
+	}
+
 	switch {
 	case runAll:
 		for _, n := range []int{8, 9, 10, 11} {
@@ -250,6 +288,9 @@ func main() {
 		}
 		if *modes {
 			runModes()
+		}
+		if *durability {
+			runDurability()
 		}
 	}
 }

@@ -117,6 +117,9 @@ type (
 	CacheStats = cache.Stats
 	// FBFCache is the paper's three-queue priority policy.
 	FBFCache = core.FBF
+	// CacheInvalidator is implemented by every registered policy: it
+	// removes a chunk outright (fault escalation, not eviction).
+	CacheInvalidator = cache.Invalidator
 )
 
 // Cache constructors and registry.
@@ -158,9 +161,17 @@ const (
 var (
 	// GenerateScheme builds the recovery scheme for one error.
 	GenerateScheme = core.GenerateScheme
+	// RegenerateScheme re-plans a repair mid-rebuild after escalations
+	// or additional disk failures changed the erasure pattern, falling
+	// back to the GF(2) decoder for cells no single chain can rebuild.
+	RegenerateScheme = core.RegenerateScheme
 	// ParseStrategy converts a strategy name.
 	ParseStrategy = core.ParseStrategy
 )
+
+// Planner is the geometry capability RegenerateScheme uses for its
+// decoder fallback; the XOR code families implement it.
+type Planner = core.Planner
 
 // Workload generation.
 type (
@@ -209,6 +220,29 @@ type (
 	FixedLatency = disk.FixedLatency
 	// Positional is the seek/rotation/transfer disk model.
 	Positional = disk.Positional
+	// FaultConfig arms deterministic fault injection on a run
+	// (SimConfig.Faults): seeded URE/transient rates plus scheduled
+	// whole-disk failures.
+	FaultConfig = rebuild.FaultConfig
+	// DiskFailure schedules one whole-disk failure mid-rebuild.
+	DiskFailure = rebuild.DiskFailure
+	// SimConfigError is the typed validation error for bad SimConfig
+	// fault fields.
+	SimConfigError = rebuild.ConfigError
+	// FaultKind classifies an injected disk fault.
+	FaultKind = disk.FaultKind
+	// FaultPlan decides per-request fault outcomes for one disk.
+	FaultPlan = disk.FaultPlan
+	// SeededFaultPlan is the deterministic hash-seeded FaultPlan.
+	SeededFaultPlan = disk.SeededFaultPlan
+)
+
+// Fault kinds.
+const (
+	FaultNone      = disk.FaultNone
+	FaultTransient = disk.FaultTransient
+	FaultURE       = disk.FaultURE
+	FaultDiskFail  = disk.FaultDiskFail
 )
 
 // Engine modes and disk schedulers.
@@ -235,6 +269,8 @@ var (
 	PaperFixedLatency = disk.PaperFixedLatency
 	// NewPositional builds a positional disk model.
 	NewPositional = disk.NewPositional
+	// NewSeededFaultPlan builds a deterministic per-disk fault plan.
+	NewSeededFaultPlan = disk.NewSeededFaultPlan
 )
 
 // Experiments.
@@ -245,6 +281,11 @@ type (
 	ExperimentPoint = experiments.Point
 	// Figure is a reproduced paper figure.
 	Figure = experiments.Figure
+	// DurabilityConfig parameterizes the fault-injection durability
+	// sweep.
+	DurabilityConfig = experiments.DurabilityConfig
+	// DurabilityRow is one durability sweep cell.
+	DurabilityRow = experiments.DurabilityRow
 )
 
 // Experiment functions (one per paper artefact, plus renderers).
@@ -275,6 +316,11 @@ var (
 	ModeComparison = experiments.ModeComparison
 	// RenderModes prints the SOR-vs-DOR table.
 	RenderModes = experiments.RenderModes
+	// Durability sweeps data-loss probability and repair makespan under
+	// injected faults.
+	Durability = experiments.Durability
+	// RenderDurability prints the durability sweep table.
+	RenderDurability = experiments.RenderDurability
 	// RenderFigure prints a figure as aligned text tables.
 	RenderFigure = experiments.RenderFigure
 	// RenderFigureCSV prints a figure as CSV.
@@ -297,6 +343,8 @@ type (
 	VerifyCacheConfig = verify.CacheConfig
 	// VerifyCacheReport summarizes one cache-policy model check.
 	VerifyCacheReport = verify.CacheReport
+	// VerifyEscalationReport summarizes one escalated-pattern sweep.
+	VerifyEscalationReport = verify.EscalationReport
 )
 
 // Verification functions.
@@ -310,4 +358,8 @@ var (
 	VerifyCachePolicy = verify.CheckCache
 	// VerifiedPolicies lists the policies the model checker covers.
 	VerifiedPolicies = verify.CheckedPolicies
+	// VerifyEscalatedRecovery sweeps the regenerated-scheme scenarios of
+	// the fault-injection engine (URE escalations, cascading column
+	// failures, beyond-tolerance loss verdicts) against the gf2 oracle.
+	VerifyEscalatedRecovery = verify.SweepEscalations
 )

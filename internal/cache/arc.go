@@ -176,6 +176,19 @@ func (a *ARC) Request(id ChunkID) bool {
 	return false
 }
 
+// Invalidate implements Invalidator: it drops id from whichever list
+// holds it, ghost entries included, and reports whether a resident
+// (T1/T2) copy was removed.
+func (a *ARC) Invalidate(id ChunkID) bool {
+	e, ok := a.index[id]
+	if !ok {
+		return false
+	}
+	a.listOf(e.where).Remove(e.node)
+	delete(a.index, id)
+	return e.where == arcT1 || e.where == arcT2
+}
+
 // Reset implements Policy.
 func (a *ARC) Reset() {
 	*a = *NewARC(a.capacity)

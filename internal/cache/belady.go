@@ -132,6 +132,17 @@ func (b *Belady) Request(id ChunkID) bool {
 	return false
 }
 
+// Invalidate implements Invalidator.
+func (b *Belady) Invalidate(id ChunkID) bool {
+	e, ok := b.index[id]
+	if !ok {
+		return false
+	}
+	heap.Remove(&b.h, e.heapIdx)
+	delete(b.index, id)
+	return true
+}
+
 // Reset implements Policy.
 func (b *Belady) Reset() {
 	*b = *NewBelady(b.capacity)

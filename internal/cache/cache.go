@@ -82,6 +82,18 @@ type FutureAware interface {
 	SetFuture(requests []ChunkID)
 }
 
+// Invalidator drops a chunk whose cached contents have become stale —
+// the fault-injection path uses it when an unrecoverable read error
+// escalates a chunk to lost, so a copy admitted before the escalation
+// cannot serve later hits. Invalidate removes id from the cache
+// entirely (including any ghost/history entries) and reports whether a
+// resident copy was dropped. It is not an eviction: Stats().Evictions
+// counts only capacity replacements. All registered policies implement
+// it.
+type Invalidator interface {
+	Invalidate(id ChunkID) bool
+}
+
 // Factory constructs a policy with the given capacity in chunks.
 type Factory func(capacity int) Policy
 

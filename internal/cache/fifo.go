@@ -50,6 +50,17 @@ func (f *FIFO) Request(id ChunkID) bool {
 	return false
 }
 
+// Invalidate implements Invalidator.
+func (f *FIFO) Invalidate(id ChunkID) bool {
+	n, ok := f.index[id]
+	if !ok {
+		return false
+	}
+	f.queue.Remove(n)
+	delete(f.index, id)
+	return true
+}
+
 // Reset implements Policy.
 func (f *FIFO) Reset() {
 	*f = *NewFIFO(f.capacity)

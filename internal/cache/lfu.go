@@ -94,6 +94,17 @@ func (l *LFU) Request(id ChunkID) bool {
 	return false
 }
 
+// Invalidate implements Invalidator.
+func (l *LFU) Invalidate(id ChunkID) bool {
+	e, ok := l.index[id]
+	if !ok {
+		return false
+	}
+	l.detach(e)
+	delete(l.index, id)
+	return true
+}
+
 // Reset implements Policy.
 func (l *LFU) Reset() {
 	*l = *NewLFU(l.capacity)

@@ -134,6 +134,17 @@ func (l *LRFU) Request(id ChunkID) bool {
 	return false
 }
 
+// Invalidate implements Invalidator.
+func (l *LRFU) Invalidate(id ChunkID) bool {
+	e, ok := l.index[id]
+	if !ok {
+		return false
+	}
+	heap.Remove(&l.h, e.heapIdx)
+	delete(l.index, id)
+	return true
+}
+
 // Reset implements Policy.
 func (l *LRFU) Reset() {
 	*l = *NewLRFU(l.capacity, l.lambda)

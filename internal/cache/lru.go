@@ -50,6 +50,17 @@ func (l *LRU) Request(id ChunkID) bool {
 	return false
 }
 
+// Invalidate implements Invalidator.
+func (l *LRU) Invalidate(id ChunkID) bool {
+	n, ok := l.index[id]
+	if !ok {
+		return false
+	}
+	l.queue.Remove(n)
+	delete(l.index, id)
+	return true
+}
+
 // Reset implements Policy.
 func (l *LRU) Reset() {
 	*l = *NewLRU(l.capacity)

@@ -99,6 +99,17 @@ func (l *LRU2) Request(id ChunkID) bool {
 	return false
 }
 
+// Invalidate implements Invalidator.
+func (l *LRU2) Invalidate(id ChunkID) bool {
+	e, ok := l.index[id]
+	if !ok {
+		return false
+	}
+	heap.Remove(&l.h, e.heapIdx)
+	delete(l.index, id)
+	return true
+}
+
 // Reset implements Policy.
 func (l *LRU2) Reset() {
 	*l = *NewLRU2(l.capacity)

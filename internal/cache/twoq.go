@@ -123,6 +123,25 @@ func (q *TwoQ) Request(id ChunkID) bool {
 	return false
 }
 
+// Invalidate implements Invalidator: ghost entries are removed too, but
+// only a resident (A1in/Am) copy counts as dropped.
+func (q *TwoQ) Invalidate(id ChunkID) bool {
+	e, ok := q.index[id]
+	if !ok {
+		return false
+	}
+	switch e.where {
+	case twoQA1in:
+		q.a1in.Remove(e.node)
+	case twoQAm:
+		q.am.Remove(e.node)
+	default:
+		q.a1out.Remove(e.node)
+	}
+	delete(q.index, id)
+	return e.where != twoQA1out
+}
+
 // Reset implements Policy.
 func (q *TwoQ) Reset() {
 	*q = *NewTwoQ(q.capacity)

@@ -33,3 +33,16 @@ func ParseInts(s string) ([]int, error) {
 	}
 	return out, nil
 }
+
+// ParseFloats parses a comma-separated list of floating-point numbers.
+func ParseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range SplitList(s) {
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, fmt.Errorf("cli: %q is not a number: %w", part, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -171,6 +171,42 @@ func (c *Code) RecoveryPlan(lost []grid.Coord) (map[grid.Coord][]grid.Coord, err
 	return plan, nil
 }
 
+// PartialRecoveryPlan is RecoveryPlan for erasure patterns that may
+// exceed the code's tolerance: it expresses every solvable lost cell as
+// a XOR of surviving cells and returns the unsolvable cells separately
+// instead of failing outright. It implements core.Planner, the decoder
+// fallback mid-rebuild scheme regeneration uses when escalated faults
+// leave no single parity chain usable.
+func (c *Code) PartialRecoveryPlan(lost []grid.Coord) (map[grid.Coord][]grid.Coord, []grid.Coord, error) {
+	seen := make(map[grid.Coord]bool, len(lost))
+	unknowns := make([]int, 0, len(lost))
+	for _, cell := range lost {
+		if !c.layout.InBounds(cell) {
+			return nil, nil, fmt.Errorf("codes: lost cell %v out of bounds", cell)
+		}
+		if seen[cell] {
+			continue
+		}
+		seen[cell] = true
+		unknowns = append(unknowns, c.CellIndex(cell))
+	}
+	sol, unsolved := c.sys.Solve(unknowns)
+	plan := make(map[grid.Coord][]grid.Coord, len(sol.Terms))
+	for idx, terms := range sol.Terms {
+		coords := make([]grid.Coord, len(terms))
+		for i, t := range terms {
+			coords[i] = c.CoordOf(t)
+		}
+		plan[c.CoordOf(idx)] = coords
+	}
+	var bad []grid.Coord
+	for _, u := range unsolved {
+		bad = append(bad, c.CoordOf(u))
+	}
+	sort.Slice(bad, func(i, j int) bool { return bad[i].Less(bad[j]) })
+	return plan, bad, nil
+}
+
 // Recover reconstructs the lost cells of a stripe in place using the
 // generic GF(2) decoder.
 func (c *Code) Recover(s Stripe, lost []grid.Coord) error {

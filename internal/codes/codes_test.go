@@ -432,3 +432,54 @@ func TestRecoverMatchesRecoveryPlan(t *testing.T) {
 		}
 	}
 }
+
+func TestPartialRecoveryPlan(t *testing.T) {
+	for _, c := range allCodes(t, smallPrimes) {
+		// A recoverable pattern matches RecoveryPlan with nothing unsolved;
+		// duplicates in the lost list are tolerated.
+		lost := []grid.Coord{{Row: 0, Col: 0}, {Row: 1, Col: 0}, {Row: 0, Col: 0}}
+		plan, unsolved, err := c.PartialRecoveryPlan(lost)
+		if err != nil || len(unsolved) != 0 {
+			t.Fatalf("%v: unsolved=%v err=%v", c, unsolved, err)
+		}
+		full, err := c.RecoveryPlan(lost[:2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(plan) != len(full) {
+			t.Errorf("%v: partial plan has %d cells, full has %d", c, len(plan), len(full))
+		}
+		// Beyond tolerance (4 whole columns) some cells must come back
+		// unsolved, and the solved ones must still XOR-check on real bytes.
+		var wide []grid.Coord
+		for col := 0; col < 4; col++ {
+			for r := 0; r < c.Rows(); r++ {
+				wide = append(wide, grid.Coord{Row: r, Col: col})
+			}
+		}
+		plan, unsolved, err = c.PartialRecoveryPlan(wide)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(unsolved) == 0 {
+			t.Errorf("%v: 4-column loss fully solved", c)
+		}
+		s := randomEncodedStripe(t, c, 5, 64)
+		for cell, terms := range plan {
+			acc := chunk.New(64)
+			for _, m := range terms {
+				chunk.XORInto(acc, s[c.CellIndex(m)])
+			}
+			if !acc.Equal(s[c.CellIndex(cell)]) {
+				t.Errorf("%v: decoded cell %v differs from original", c, cell)
+			}
+		}
+	}
+}
+
+func TestPartialRecoveryPlanRejectsOutOfBounds(t *testing.T) {
+	c := MustNew("tip", 5)
+	if _, _, err := c.PartialRecoveryPlan([]grid.Coord{{Row: 0, Col: 99}}); err == nil {
+		t.Error("out-of-bounds cell accepted")
+	}
+}

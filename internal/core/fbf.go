@@ -47,6 +47,7 @@ func NewFBF(capacity int) *FBF {
 var (
 	_ cache.Policy        = (*FBF)(nil)
 	_ cache.PriorityAware = (*FBF)(nil)
+	_ cache.Invalidator   = (*FBF)(nil)
 )
 
 func init() {
@@ -121,6 +122,17 @@ func (f *FBF) evict() {
 			return
 		}
 	}
+}
+
+// Invalidate implements cache.Invalidator.
+func (f *FBF) Invalidate(id cache.ChunkID) bool {
+	e, ok := f.index[id]
+	if !ok {
+		return false
+	}
+	f.queues[e.queue].Remove(e.node)
+	delete(f.index, id)
+	return true
 }
 
 // Reset implements cache.Policy.

@@ -63,6 +63,11 @@ type SelectedChain struct {
 	Lost  grid.Coord   // the chunk being rebuilt
 	Chain grid.ChainID // the chain used to rebuild it
 	Fetch []grid.Coord // surviving chain members, in request order
+
+	// Decoded marks a chain produced by the GF(2) decoder fallback of
+	// RegenerateScheme rather than a single parity chain: Chain is zero
+	// and Fetch lists the surviving cells whose XOR reproduces Lost.
+	Decoded bool
 }
 
 // Scheme is a complete recovery plan for one partial stripe error: the
@@ -92,10 +97,31 @@ func GenerateScheme(code Geometry, e PartialStripeError, strategy Strategy) (*Sc
 		lostSet[c] = true
 	}
 
+	scheme := &Scheme{Code: code, Err: e, Strategy: strategy, Priorities: make(map[grid.Coord]int)}
+	planned := make(map[grid.Coord]bool) // chunks already scheduled for fetch
+
+	for k, cell := range lost {
+		chosen, err := chainFor(code, lostSet, planned, cell, k, strategy)
+		if err != nil {
+			return nil, err
+		}
+		if chosen == nil {
+			return nil, fmt.Errorf("core: no usable chain for lost chunk %v of %v", cell, e)
+		}
+		scheme.addChain(cell, chosen, planned)
+	}
+	return scheme, nil
+}
+
+// chainFor picks the repair chain for one lost cell under the strategy
+// (k is the cell's ordinal among the cells being repaired, which the
+// looping strategy cycles on). It returns nil when no single chain can
+// rebuild the cell — every chain through it holds another lost cell.
+func chainFor(code Geometry, lostSet, planned map[grid.Coord]bool, cell grid.Coord, k int, strategy Strategy) (*grid.Chain, error) {
 	// usable returns the chain of the given kind through cell, provided
 	// it contains no other lost cell (a chain with two erasures cannot
 	// rebuild either on its own).
-	usable := func(cell grid.Coord, kind grid.ChainKind) (*grid.Chain, bool) {
+	usable := func(kind grid.ChainKind) (*grid.Chain, bool) {
 		ch, ok := code.Layout().ChainThrough(cell, kind)
 		if !ok {
 			return nil, false
@@ -108,71 +134,65 @@ func GenerateScheme(code Geometry, e PartialStripeError, strategy Strategy) (*Sc
 		return ch, true
 	}
 
-	scheme := &Scheme{Code: code, Err: e, Strategy: strategy, Priorities: make(map[grid.Coord]int)}
-	planned := make(map[grid.Coord]bool) // chunks already scheduled for fetch
-
-	for k, cell := range lost {
+	switch strategy {
+	case StrategyTypical:
+		for _, kind := range grid.Kinds() {
+			if ch, ok := usable(kind); ok {
+				return ch, nil
+			}
+		}
+	case StrategyLooped:
+		kinds := grid.Kinds()
+		for off := 0; off < len(kinds); off++ {
+			if ch, ok := usable(kinds[(k+off)%len(kinds)]); ok {
+				return ch, nil
+			}
+		}
+	case StrategyGreedy:
 		var chosen *grid.Chain
-		switch strategy {
-		case StrategyTypical:
-			for _, kind := range grid.Kinds() {
-				if ch, ok := usable(cell, kind); ok {
-					chosen = ch
-					break
-				}
-			}
-		case StrategyLooped:
-			kinds := grid.Kinds()
-			for off := 0; off < len(kinds); off++ {
-				kind := kinds[(k+off)%len(kinds)]
-				if ch, ok := usable(cell, kind); ok {
-					chosen = ch
-					break
-				}
-			}
-		case StrategyGreedy:
-			bestFresh, bestOverlap := int(^uint(0)>>1), -1
-			for _, kind := range grid.Kinds() {
-				ch, ok := usable(cell, kind)
-				if !ok {
-					continue
-				}
-				overlap, fresh := 0, 0
-				for _, m := range ch.Cells {
-					if m == cell {
-						continue
-					}
-					if planned[m] {
-						overlap++
-					} else {
-						fresh++
-					}
-				}
-				// Minimize the marginal number of new chunks to read;
-				// break ties toward more sharing (higher priorities).
-				if fresh < bestFresh || (fresh == bestFresh && overlap > bestOverlap) {
-					chosen, bestFresh, bestOverlap = ch, fresh, overlap
-				}
-			}
-		default:
-			return nil, fmt.Errorf("core: invalid strategy %v", strategy)
-		}
-		if chosen == nil {
-			return nil, fmt.Errorf("core: no usable chain for lost chunk %v of %v", cell, e)
-		}
-
-		fetch := make([]grid.Coord, 0, len(chosen.Cells)-1)
-		for _, m := range chosen.Cells {
-			if m == cell {
+		bestFresh, bestOverlap := int(^uint(0)>>1), -1
+		for _, kind := range grid.Kinds() {
+			ch, ok := usable(kind)
+			if !ok {
 				continue
 			}
-			fetch = append(fetch, m)
-			scheme.Priorities[m]++
-			planned[m] = true
+			overlap, fresh := 0, 0
+			for _, m := range ch.Cells {
+				if m == cell {
+					continue
+				}
+				if planned[m] {
+					overlap++
+				} else {
+					fresh++
+				}
+			}
+			// Minimize the marginal number of new chunks to read;
+			// break ties toward more sharing (higher priorities).
+			if fresh < bestFresh || (fresh == bestFresh && overlap > bestOverlap) {
+				chosen, bestFresh, bestOverlap = ch, fresh, overlap
+			}
 		}
-		scheme.Selected = append(scheme.Selected, SelectedChain{Lost: cell, Chain: chosen.ID(), Fetch: fetch})
+		return chosen, nil
+	default:
+		return nil, fmt.Errorf("core: invalid strategy %v", strategy)
 	}
-	return scheme, nil
+	return nil, nil
+}
+
+// addChain appends one chain selection to the scheme, updating the
+// priority dictionary and the planned-fetch set.
+func (s *Scheme) addChain(cell grid.Coord, ch *grid.Chain, planned map[grid.Coord]bool) {
+	fetch := make([]grid.Coord, 0, len(ch.Cells)-1)
+	for _, m := range ch.Cells {
+		if m == cell {
+			continue
+		}
+		fetch = append(fetch, m)
+		s.Priorities[m]++
+		planned[m] = true
+	}
+	s.Selected = append(s.Selected, SelectedChain{Lost: cell, Chain: ch.ID(), Fetch: fetch})
 }
 
 // Requests returns the chunk-request sequence the reconstruction engine

@@ -34,6 +34,9 @@ type ArrayConfig struct {
 	ModelFor func(i int) Model
 	// Scheduler selects every disk's queue discipline (default FIFO).
 	Scheduler Scheduler
+	// FaultFor returns the fault plan of disk i (nil for none). When nil
+	// no disk faults, preserving the legacy always-succeeds behaviour.
+	FaultFor func(i int) FaultPlan
 }
 
 // NewArray builds the array and its disks.
@@ -56,6 +59,11 @@ func NewArray(s *sim.Simulator, cfg ArrayConfig) (*Array, error) {
 		}
 		d := NewDisk(i, s, model)
 		d.SetScheduler(cfg.Scheduler)
+		if cfg.FaultFor != nil {
+			if plan := cfg.FaultFor(i); plan != nil {
+				d.SetFaultPlan(plan)
+			}
+		}
 		a.disks = append(a.disks, d)
 	}
 	return a, nil
@@ -92,6 +100,35 @@ func (a *Array) ReadChunk(stripe int, cell grid.Coord, done func(issued, complet
 	return nil
 }
 
+// ReadChunkEx is ReadChunk with the fault-aware completion signature:
+// done receives the request itself, so callers can inspect
+// Request.Failed/Fault and react (retry, escalate, re-plan).
+func (a *Array) ReadChunkEx(stripe int, cell grid.Coord, done func(r *Request, issued, completed sim.Time)) error {
+	if err := a.check(stripe, cell); err != nil {
+		return err
+	}
+	r := &Request{
+		Addr: a.chunkAddr(stripe, cell.Row),
+		Size: a.chunkSize,
+	}
+	r.Done = func(issued, completed sim.Time) { done(r, issued, completed) }
+	a.disks[cell.Col].Submit(r)
+	return nil
+}
+
+// ReadAddrEx reads an arbitrary per-disk chunk address (used to re-read
+// checkpointed chunks from a spare region) with the fault-aware
+// completion signature.
+func (a *Array) ReadAddrEx(diskID int, addr int64, done func(r *Request, issued, completed sim.Time)) error {
+	if diskID < 0 || diskID >= len(a.disks) {
+		return fmt.Errorf("disk: read from invalid disk %d", diskID)
+	}
+	r := &Request{Addr: addr, Size: a.chunkSize}
+	r.Done = func(issued, completed sim.Time) { done(r, issued, completed) }
+	a.disks[diskID].Submit(r)
+	return nil
+}
+
 // WriteSpare writes one recovered chunk into the spare region of the
 // given disk and calls done at completion.
 func (a *Array) WriteSpare(diskID int, done func(issued, completed sim.Time)) error {
@@ -109,6 +146,40 @@ func (a *Array) WriteSpare(diskID int, done func(issued, completed sim.Time)) er
 	return nil
 }
 
+// SpareTarget returns the disk that should hold spares destined for
+// diskID: diskID itself while it survives, otherwise the next surviving
+// disk scanning upward (wrapping), or -1 when every disk has failed.
+func (a *Array) SpareTarget(diskID int) int {
+	if diskID < 0 || diskID >= len(a.disks) {
+		return -1
+	}
+	for off := 0; off < len(a.disks); off++ {
+		c := (diskID + off) % len(a.disks)
+		if !a.disks[c].Failed() {
+			return c
+		}
+	}
+	return -1
+}
+
+// WriteSpareEx writes one recovered chunk into the spare region of the
+// given disk, failing over to SpareTarget when that disk is dead. It
+// returns the disk and spare address actually written (-1, -1 when no
+// disk survives — done is then never called) and reports the request to
+// done so the caller can observe mid-write disk failures.
+func (a *Array) WriteSpareEx(diskID int, done func(r *Request, issued, completed sim.Time)) (target int, addr int64) {
+	target = a.SpareTarget(diskID)
+	if target < 0 {
+		return -1, -1
+	}
+	addr = a.spareBase + a.spareAlloc[target]
+	a.spareAlloc[target]++
+	r := &Request{Addr: addr, Size: a.chunkSize, Write: true}
+	r.Done = func(issued, completed sim.Time) { done(r, issued, completed) }
+	a.disks[target].Submit(r)
+	return target, addr
+}
+
 // TotalStats sums the per-disk statistics.
 func (a *Array) TotalStats() Stats {
 	var total Stats
@@ -116,6 +187,7 @@ func (a *Array) TotalStats() Stats {
 		s := d.Stats()
 		total.Reads += s.Reads
 		total.Writes += s.Writes
+		total.Failed += s.Failed
 		total.BusyTime += s.BusyTime
 		total.QueueTime += s.QueueTime
 	}

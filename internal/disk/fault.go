@@ -1,0 +1,128 @@
+package disk
+
+import (
+	"fmt"
+
+	"fbf/internal/sim"
+)
+
+// FaultKind classifies an injected request failure. It is delivered to
+// completion callbacks through Request.Fault so the reconstruction
+// engine can react differently to each class (retry a timeout, escalate
+// a latent sector error, re-plan around a dead disk).
+type FaultKind uint8
+
+const (
+	// FaultNone means the request completed successfully.
+	FaultNone FaultKind = iota
+	// FaultTransient is a recoverable timeout: the medium is fine and a
+	// retry of the same address may succeed.
+	FaultTransient
+	// FaultURE is a latent sector error (unrecoverable read error): the
+	// sectors backing the requested address are permanently unreadable,
+	// and every future read of the address fails the same way.
+	FaultURE
+	// FaultDiskFail means the whole disk has failed; every outstanding
+	// and future request on it fails.
+	FaultDiskFail
+)
+
+// String names the fault kind.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultNone:
+		return "none"
+	case FaultTransient:
+		return "transient"
+	case FaultURE:
+		return "ure"
+	case FaultDiskFail:
+		return "disk-fail"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", uint8(k))
+	}
+}
+
+// FaultPlan decides the injected outcome of every request one disk
+// serves. Plans are consulted when a request's service time has elapsed
+// (not at submission), so requests that were queued while a fault armed
+// do not dodge it. Implementations must be deterministic: the engine's
+// reproducibility guarantees extend to faulted runs, so an identical
+// (plan, request sequence) pair must yield identical outcomes.
+type FaultPlan interface {
+	// FailureTime returns the simulated time at which the whole disk
+	// fails, if the plan schedules one.
+	FailureTime() (sim.Time, bool)
+	// Outcome returns the injected fault for a request completing at
+	// time now (FaultNone for success). It is not consulted once the
+	// disk has failed; whole-disk failure is handled by the disk itself.
+	Outcome(r *Request, now sim.Time) FaultKind
+}
+
+// SeededFaultPlan is the standard deterministic plan: latent sector
+// errors are a pure function of (seed, disk, address) — an address
+// either always fails with FaultURE or never does — transient timeouts
+// are drawn per attempt from the same seed, and an optional whole-disk
+// failure fires at FailAt. Two runs over the same request sequence see
+// identical faults.
+type SeededFaultPlan struct {
+	DiskID        int
+	Seed          int64
+	URERate       float64  // per-address latent-sector-error probability
+	TransientRate float64  // per-attempt transient-timeout probability
+	FailAt        sim.Time // whole-disk failure time; 0 = never
+
+	attempts map[int64]uint64 // read attempts seen per address
+}
+
+// NewSeededFaultPlan returns a plan for one disk.
+func NewSeededFaultPlan(diskID int, seed int64, ureRate, transientRate float64, failAt sim.Time) *SeededFaultPlan {
+	return &SeededFaultPlan{
+		DiskID:        diskID,
+		Seed:          seed,
+		URERate:       ureRate,
+		TransientRate: transientRate,
+		FailAt:        failAt,
+	}
+}
+
+// FailureTime implements FaultPlan.
+func (p *SeededFaultPlan) FailureTime() (sim.Time, bool) {
+	return p.FailAt, p.FailAt > 0
+}
+
+// Outcome implements FaultPlan. Writes never fault (drives remap bad
+// sectors on write), keeping the injected-fault surface on the read
+// path the recovery chains depend on.
+func (p *SeededFaultPlan) Outcome(r *Request, _ sim.Time) FaultKind {
+	if r.Write {
+		return FaultNone
+	}
+	if p.URERate > 0 && faultDraw(p.Seed, uint64(p.DiskID), uint64(r.Addr), 0xA11CE) < p.URERate {
+		return FaultURE
+	}
+	if p.TransientRate > 0 {
+		if p.attempts == nil {
+			p.attempts = make(map[int64]uint64)
+		}
+		attempt := p.attempts[r.Addr]
+		p.attempts[r.Addr]++
+		if faultDraw(p.Seed, uint64(p.DiskID), uint64(r.Addr), 0xBEEF0+attempt) < p.TransientRate {
+			return FaultTransient
+		}
+	}
+	return FaultNone
+}
+
+// faultDraw hashes its inputs into a uniform float in [0, 1) with a
+// splitmix64 finalizer; it is the deterministic coin behind the plan.
+func faultDraw(seed int64, disk, addr, salt uint64) float64 {
+	x := uint64(seed)
+	for _, v := range [...]uint64{disk, addr, salt} {
+		x += v + 0x9E3779B97F4A7C15
+		x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+		x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+		x ^= x >> 31
+	}
+	return float64(x>>11) / (1 << 53)
+}

@@ -99,20 +99,31 @@ func (m *Positional) ServiceTime(prevAddr, addr int64, sizeBytes int, _ bool) si
 }
 
 // Request is one disk I/O. Done fires at completion with the issue and
-// completion times; it runs inside the simulation loop.
+// completion times; it runs inside the simulation loop. When a fault
+// plan injects a failure, Done still fires but Failed is set and Fault
+// carries the failure class — callers that ignore both see the legacy
+// always-succeeds behaviour.
 type Request struct {
 	Addr  int64 // chunk-granularity address
 	Size  int   // bytes
 	Write bool
 	Done  func(issued, completed sim.Time)
 
+	// Failed reports that the request did not transfer data; Fault
+	// classifies why. Both are set before Done runs.
+	Failed bool
+	Fault  FaultKind
+
 	issued sim.Time
 }
 
-// Stats aggregates a disk's served I/O.
+// Stats aggregates a disk's served I/O. Failed requests are counted in
+// Failed only, so Reads/Writes keep meaning "successful transfers" and
+// fault-free runs are unchanged.
 type Stats struct {
 	Reads     uint64
 	Writes    uint64
+	Failed    uint64
 	BusyTime  sim.Time
 	QueueTime sim.Time
 }
@@ -158,7 +169,8 @@ type Disk struct {
 	busy      bool
 	head      int64
 	stats     Stats
-	fault     *Fault
+	plan      FaultPlan
+	failed    bool
 }
 
 // NewDisk creates a disk attached to the simulator with FIFO
@@ -227,16 +239,74 @@ func (d *Disk) Stats() Stats { return d.stats }
 // QueueDepth returns the number of requests waiting (not in service).
 func (d *Disk) QueueDepth() int { return len(d.queue) }
 
-// Fault describes an injected whole-request failure window, used by the
-// failure-injection tests: requests issued while Until is in the future
-// complete with Failed=true via the FaultHook.
+// Fault is the legacy ad-hoc failure window, kept as a thin shim over
+// the FaultPlan path for existing callers: requests submitted while
+// Until is in the future fail immediately (Hook runs, Done does not),
+// and requests already queued when the window arms fail at their
+// completion time with Failed=true — the old implementation let queued
+// requests dodge the window entirely, and never cleared the armed fault
+// after it expired.
 type Fault struct {
 	Until sim.Time
 	Hook  func(r *Request)
 }
 
-// InjectFault arms a fault window on the disk.
-func (d *Disk) InjectFault(f *Fault) { d.fault = f }
+// FailureTime implements FaultPlan: a window never kills the disk.
+func (f *Fault) FailureTime() (sim.Time, bool) { return 0, false }
+
+// Outcome implements FaultPlan: every request completing inside the
+// window fails as a transient.
+func (f *Fault) Outcome(_ *Request, now sim.Time) FaultKind {
+	if now < f.Until {
+		return FaultTransient
+	}
+	return FaultNone
+}
+
+// InjectFault arms a fault window on the disk (legacy shim; new code
+// should install a FaultPlan via SetFaultPlan).
+func (d *Disk) InjectFault(f *Fault) { d.plan = f }
+
+// SetFaultPlan installs the disk's fault plan and schedules its
+// whole-disk failure, if any. Call before traffic starts.
+func (d *Disk) SetFaultPlan(p FaultPlan) {
+	d.plan = p
+	if p == nil {
+		return
+	}
+	if at, ok := p.FailureTime(); ok {
+		if at < d.sim.Now() {
+			at = d.sim.Now()
+		}
+		d.sim.ScheduleAt(at, d.failNow)
+	}
+}
+
+// Failed reports whether the whole disk has failed.
+func (d *Disk) Failed() bool { return d.failed }
+
+// failNow marks the disk dead and fails every queued request at the
+// current time. A request already in service fails at its scheduled
+// completion (the mechanism was mid-operation when the drive died).
+func (d *Disk) failNow() {
+	if d.failed {
+		return
+	}
+	d.failed = true
+	q := d.queue
+	d.queue = nil
+	for _, r := range q {
+		d.stats.QueueTime += d.sim.Now() - r.issued
+		d.completeFailed(r, FaultDiskFail)
+	}
+}
+
+// completeFailed finishes a request as failed.
+func (d *Disk) completeFailed(r *Request, kind FaultKind) {
+	r.Failed, r.Fault = true, kind
+	d.stats.Failed++
+	r.Done(r.issued, d.sim.Now())
+}
 
 // Submit enqueues a request. Completion is signalled through r.Done.
 func (d *Disk) Submit(r *Request) {
@@ -244,9 +314,25 @@ func (d *Disk) Submit(r *Request) {
 		panic("disk: request without completion callback")
 	}
 	r.issued = d.sim.Now()
-	if d.fault != nil && d.sim.Now() < d.fault.Until && d.fault.Hook != nil {
-		d.fault.Hook(r)
+	if d.failed {
+		// A dead disk fails submissions asynchronously so callers never
+		// see Done re-enter them mid-Submit.
+		d.sim.Schedule(0, func() { d.completeFailed(r, FaultDiskFail) })
 		return
+	}
+	if f, ok := d.plan.(*Fault); ok {
+		// Legacy window semantics: intercept at submission, swallowing
+		// the request (Hook instead of Done)...
+		if d.sim.Now() < f.Until {
+			r.Failed, r.Fault = true, FaultTransient
+			d.stats.Failed++
+			if f.Hook != nil {
+				f.Hook(r)
+			}
+			return
+		}
+		// ...and clear the expired window instead of leaking it forever.
+		d.plan = nil
 	}
 	d.queue = append(d.queue, r)
 	if !d.busy {
@@ -266,7 +352,24 @@ func (d *Disk) startNext() {
 	d.stats.BusyTime += service
 	d.head = r.Addr
 	d.sim.Schedule(service, func() {
-		if r.Write {
+		kind := FaultNone
+		if d.failed {
+			kind = FaultDiskFail
+		} else if d.plan != nil {
+			kind = d.plan.Outcome(r, d.sim.Now())
+			if f, ok := d.plan.(*Fault); ok {
+				if kind != FaultNone && f.Hook != nil {
+					f.Hook(r)
+				}
+				if d.sim.Now() >= f.Until {
+					d.plan = nil
+				}
+			}
+		}
+		if kind != FaultNone {
+			r.Failed, r.Fault = true, kind
+			d.stats.Failed++
+		} else if r.Write {
 			d.stats.Writes++
 		} else {
 			d.stats.Reads++

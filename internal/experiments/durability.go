@@ -1,0 +1,210 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"fbf/internal/rebuild"
+	"fbf/internal/sim"
+)
+
+// DurabilityConfig parameterizes the durability sweep: how often does
+// partial stripe recovery end in data loss, and what does surviving
+// cost, as the latent-sector-error (URE) rate climbs and disks keep
+// failing mid-rebuild?
+type DurabilityConfig struct {
+	// URERates is the swept per-address unrecoverable-read-error
+	// probability axis. Required.
+	URERates []float64
+
+	// TransientRate is the per-attempt transient-timeout probability
+	// applied to every trial (exercises the retry ladder).
+	TransientRate float64
+
+	// FaultSeed derives each trial's fault schedule; trial t of a row
+	// uses FaultSeed + t, so trials differ but the whole sweep is a pure
+	// function of the configuration.
+	FaultSeed int64
+
+	// Trials is the number of fault schedules averaged per row
+	// (default 5). Failure disks rotate across trials.
+	Trials int
+
+	// SecondFailureAt / ThirdFailureAt, when positive, inject one / two
+	// additional whole-disk failures at the given simulated times,
+	// modeling the cascading-failure window the paper's 3DFT setting
+	// exists to survive.
+	SecondFailureAt sim.Time
+	ThirdFailureAt  sim.Time
+
+	// CacheMB is the cache size used for every run (default 64).
+	CacheMB int
+}
+
+func (d DurabilityConfig) withDefaults() DurabilityConfig {
+	if d.Trials == 0 {
+		d.Trials = 5
+	}
+	if d.CacheMB == 0 {
+		d.CacheMB = 64
+	}
+	return d
+}
+
+func (d DurabilityConfig) validate() error {
+	if len(d.URERates) == 0 {
+		return fmt.Errorf("experiments: durability sweep needs at least one URE rate")
+	}
+	for _, r := range d.URERates {
+		if r < 0 || r >= 1 {
+			return fmt.Errorf("experiments: URE rate %v outside [0, 1)", r)
+		}
+	}
+	if d.TransientRate < 0 || d.TransientRate >= 1 {
+		return fmt.Errorf("experiments: transient rate %v outside [0, 1)", d.TransientRate)
+	}
+	if d.Trials < 0 {
+		return fmt.Errorf("experiments: negative trial count %d", d.Trials)
+	}
+	if d.CacheMB < 0 {
+		return fmt.Errorf("experiments: negative cache size %d MB", d.CacheMB)
+	}
+	if d.SecondFailureAt < 0 || d.ThirdFailureAt < 0 {
+		return fmt.Errorf("experiments: negative failure time")
+	}
+	return nil
+}
+
+// DurabilityRow aggregates the trials of one (code, prime, policy,
+// URE-rate) sweep cell.
+type DurabilityRow struct {
+	Code    string
+	P       int
+	Policy  string
+	URERate float64
+	Trials  int
+
+	// LossTrials counts trials that ended with unrecoverable chunks;
+	// LossProb is the fraction, the sweep's headline durability metric.
+	LossTrials int
+	LossProb   float64
+
+	// AvgLostChunks averages the unrecoverable-chunk count over all
+	// trials (zero in loss-free trials included).
+	AvgLostChunks float64
+
+	// AvgMakespanMs is the mean repair makespan — how the fault load
+	// stretches recovery for this cache policy.
+	AvgMakespanMs float64
+
+	// Mean per-trial fault-path activity.
+	AvgRetries       float64
+	AvgEscalations   float64
+	AvgRegenerations float64
+}
+
+// Durability sweeps data-loss probability and repair makespan over
+// codes x primes x policies x URE rates. Each cell runs d.Trials
+// independent fault schedules (seeded FaultSeed+trial, failure disks
+// rotating with the trial index) against the shared per-(code, prime)
+// error trace, so policies and rates are directly comparable. Rows are
+// returned in serial enumeration order (codes, primes, policies, then
+// rates) and, like every sweep here, are identical at any
+// Params.Parallelism.
+func Durability(p Params, d DurabilityConfig) ([]DurabilityRow, error) {
+	d = d.withDefaults()
+	if err := d.validate(); err != nil {
+		return nil, err
+	}
+	if err := p.validateAxes(true, false); err != nil {
+		return nil, err
+	}
+	if err := p.validateEngine(); err != nil {
+		return nil, err
+	}
+	preps, err := prepareTraces(p)
+	if err != nil {
+		return nil, err
+	}
+	perPrep := len(p.Policies) * len(d.URERates)
+	rows := make([]DurabilityRow, len(preps)*perPrep)
+	err = forEachIndexed(p.parallelism(), len(rows), p.Progress, func(i int) error {
+		prep := preps[i/perPrep]
+		policy := p.Policies[i/len(d.URERates)%len(p.Policies)]
+		ureRate := d.URERates[i%len(d.URERates)]
+		row := DurabilityRow{
+			Code: prep.codeName, P: prep.prime, Policy: policy,
+			URERate: ureRate, Trials: d.Trials,
+		}
+		disks := prep.code.Disks()
+		for trial := 0; trial < d.Trials; trial++ {
+			faults := &rebuild.FaultConfig{
+				Seed:          d.FaultSeed + int64(trial),
+				URERate:       ureRate,
+				TransientRate: d.TransientRate,
+			}
+			if d.SecondFailureAt > 0 {
+				faults.DiskFailures = append(faults.DiskFailures,
+					rebuild.DiskFailure{Disk: trial % disks, At: d.SecondFailureAt})
+			}
+			if d.ThirdFailureAt > 0 {
+				faults.DiskFailures = append(faults.DiskFailures,
+					rebuild.DiskFailure{Disk: (trial + 1) % disks, At: d.ThirdFailureAt})
+			}
+			res, err := rebuild.Run(rebuild.Config{
+				Code: prep.code, Policy: policy, Strategy: p.Strategy,
+				Workers: p.Workers, CacheChunks: p.CacheChunks(d.CacheMB),
+				ChunkSize: p.ChunkSizeKB * 1024, Stripes: p.Stripes,
+				Faults: faults,
+			}, prep.errors)
+			if err != nil {
+				return err
+			}
+			if res.DataLoss {
+				row.LossTrials++
+			}
+			row.AvgLostChunks += float64(res.LostChunks)
+			row.AvgMakespanMs += res.Makespan.Milliseconds()
+			row.AvgRetries += float64(res.Retries)
+			row.AvgEscalations += float64(res.Escalations)
+			row.AvgRegenerations += float64(res.Regenerations)
+		}
+		n := float64(d.Trials)
+		row.LossProb = float64(row.LossTrials) / n
+		row.AvgLostChunks /= n
+		row.AvgMakespanMs /= n
+		row.AvgRetries /= n
+		row.AvgEscalations /= n
+		row.AvgRegenerations /= n
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// RenderDurability prints the durability sweep table.
+func RenderDurability(w io.Writer, rows []DurabilityRow) error {
+	if _, err := fmt.Fprintln(w, "== DURABILITY: Data Loss and Repair Makespan Under Injected Faults =="); err != nil {
+		return err
+	}
+	table := [][]string{{"code", "p", "policy", "ure-rate", "trials", "loss-prob", "lost-chunks", "makespan(ms)", "retries", "escalations", "regens"}}
+	for _, r := range rows {
+		table = append(table, []string{
+			r.Code,
+			fmt.Sprintf("%d", r.P),
+			r.Policy,
+			fmt.Sprintf("%g", r.URERate),
+			fmt.Sprintf("%d", r.Trials),
+			fmt.Sprintf("%.2f", r.LossProb),
+			fmt.Sprintf("%.1f", r.AvgLostChunks),
+			fmt.Sprintf("%.2f", r.AvgMakespanMs),
+			fmt.Sprintf("%.1f", r.AvgRetries),
+			fmt.Sprintf("%.1f", r.AvgEscalations),
+			fmt.Sprintf("%.1f", r.AvgRegenerations),
+		})
+	}
+	return renderAligned(w, table)
+}

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"fbf/internal/core"
+	"fbf/internal/sim"
+)
+
+func durabilityParams() Params {
+	return Params{
+		Codes:       []string{"tip"},
+		Primes:      []int{5},
+		Policies:    []string{"lru", "fbf"},
+		ChunkSizeKB: 32,
+		Workers:     4,
+		Groups:      12,
+		Stripes:     256,
+		Seed:        7,
+		Strategy:    core.StrategyLooped,
+	}
+}
+
+// TestDurabilitySweep checks the sweep end to end: zero-rate rows are
+// loss-free, a hostile cascading-failure schedule loses data, and the
+// makespan axis responds to the fault load.
+func TestDurabilitySweep(t *testing.T) {
+	p := durabilityParams()
+	rows, err := Durability(p, DurabilityConfig{
+		URERates:        []float64{0, 0.05},
+		TransientRate:   0.05,
+		FaultSeed:       3,
+		Trials:          2,
+		SecondFailureAt: 5 * sim.Millisecond,
+		ThirdFailureAt:  10 * sim.Millisecond,
+		CacheMB:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(p.Policies)*2 {
+		t.Fatalf("got %d rows, want %d", len(rows), len(p.Policies)*2)
+	}
+	for _, r := range rows {
+		if r.Trials != 2 {
+			t.Errorf("row %+v: trials %d", r, r.Trials)
+		}
+		if r.AvgMakespanMs <= 0 {
+			t.Errorf("row %+v: non-positive makespan", r)
+		}
+		if r.LossProb < 0 || r.LossProb > 1 {
+			t.Errorf("row %+v: loss probability out of range", r)
+		}
+		if r.URERate > 0 && r.AvgEscalations == 0 {
+			t.Errorf("row %+v: URE rate %g produced no escalations", r, r.URERate)
+		}
+	}
+}
+
+// TestDurabilityDeterministicAcrossParallelism pins that the sweep's
+// rows — fault schedules included — are bit-identical whether the cells
+// run serially or concurrently.
+func TestDurabilityDeterministicAcrossParallelism(t *testing.T) {
+	cfg := DurabilityConfig{
+		URERates:        []float64{0, 0.02},
+		TransientRate:   0.1,
+		FaultSeed:       11,
+		Trials:          2,
+		SecondFailureAt: 20 * sim.Millisecond,
+		CacheMB:         1,
+	}
+	serial := durabilityParams()
+	serial.Parallelism = 1
+	parallel := durabilityParams()
+	parallel.Parallelism = 4
+
+	want, err := Durability(serial, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Durability(parallel, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("durability rows differ across parallelism:\n  serial   %+v\n  parallel %+v", want, got)
+	}
+}
+
+// TestDurabilityValidation covers the config guard rails.
+func TestDurabilityValidation(t *testing.T) {
+	p := durabilityParams()
+	cases := []DurabilityConfig{
+		{},                                   // no URE rates
+		{URERates: []float64{1.5}},           // rate out of range
+		{URERates: []float64{0}, Trials: -1}, // negative trials
+		{URERates: []float64{0}, TransientRate: -0.5},
+		{URERates: []float64{0}, CacheMB: -1},
+		{URERates: []float64{0}, SecondFailureAt: -sim.Millisecond},
+	}
+	for i, c := range cases {
+		if _, err := Durability(p, c); err == nil {
+			t.Errorf("case %d (%+v): invalid config accepted", i, c)
+		}
+	}
+}
+
+// TestRenderDurability smoke-tests the table renderer.
+func TestRenderDurability(t *testing.T) {
+	rows := []DurabilityRow{{
+		Code: "tip", P: 5, Policy: "fbf", URERate: 0.01, Trials: 5,
+		LossTrials: 1, LossProb: 0.2, AvgLostChunks: 0.4,
+		AvgMakespanMs: 123.45, AvgRetries: 6, AvgEscalations: 1.2, AvgRegenerations: 0.8,
+	}}
+	var buf bytes.Buffer
+	if err := RenderDurability(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"DURABILITY", "loss-prob", "0.20", "123.45"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}

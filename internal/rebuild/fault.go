@@ -1,0 +1,376 @@
+package rebuild
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"fbf/internal/cache"
+	"fbf/internal/core"
+	"fbf/internal/disk"
+	"fbf/internal/grid"
+	"fbf/internal/sim"
+)
+
+// ConfigError reports an invalid Config field with the field path and
+// the reason, matching the typed-validation style of the experiments
+// package.
+type ConfigError struct {
+	Field  string
+	Reason string
+}
+
+// Error implements error.
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("rebuild: invalid %s: %s", e.Field, e.Reason)
+}
+
+// DiskFailure schedules the whole-disk failure of one disk at a
+// simulated time after the error groups arrive (t = 0).
+type DiskFailure struct {
+	Disk int
+	At   sim.Time
+}
+
+// FaultConfig arms deterministic fault injection for a run. All
+// outcomes derive from Seed, so identical configurations reproduce
+// identical fault schedules regardless of host parallelism.
+//
+// The engine's escalation ladder:
+//
+//  1. a transient read timeout retries with capped exponential backoff
+//     (up to RetryMax total attempts per fetch);
+//  2. an unrecoverable read error (URE) — or an exhausted retry budget —
+//     escalates the chunk to lost: its cached copy is invalidated, the
+//     current recovery scheme is regenerated around it (GF(2) decoder
+//     fallback for multi-erasure chains), and repair continues;
+//  3. a whole-disk failure re-plans the remaining work once per failure,
+//     with completed chunks checkpointed in spare areas and re-read from
+//     there instead of being rebuilt again;
+//  4. a pattern beyond the code's tolerance ends in a graceful DataLoss
+//     result with per-chunk accounting — never a panic.
+type FaultConfig struct {
+	Seed          int64
+	URERate       float64 // per-address latent-sector-error probability, [0, 1)
+	TransientRate float64 // per-attempt transient-timeout probability, [0, 1)
+
+	// RetryMax caps total read attempts per chunk fetch (initial attempt
+	// included). Zero selects the default of 4.
+	RetryMax int
+	// RetryBackoff is the delay before the first retry; each further
+	// retry doubles it up to RetryBackoffCap. Zeros select the defaults
+	// of 1 ms and 8 ms.
+	RetryBackoff    sim.Time
+	RetryBackoffCap sim.Time
+
+	// DiskFailures lists whole-disk failures to inject mid-rebuild.
+	DiskFailures []DiskFailure
+}
+
+// withDefaults returns a copy with unset knobs filled in.
+func (f FaultConfig) withDefaults() FaultConfig {
+	if f.RetryMax == 0 {
+		f.RetryMax = 4
+	}
+	if f.RetryBackoff == 0 {
+		f.RetryBackoff = sim.Millisecond
+	}
+	if f.RetryBackoffCap == 0 {
+		f.RetryBackoffCap = 8 * sim.Millisecond
+	}
+	return f
+}
+
+// Validate checks the fault fields against the array width, returning a
+// *ConfigError naming the offending field.
+func (f *FaultConfig) Validate(disks int) error {
+	if f.URERate < 0 || f.URERate >= 1 {
+		return &ConfigError{Field: "Faults.URERate", Reason: fmt.Sprintf("rate %v outside [0, 1)", f.URERate)}
+	}
+	if f.TransientRate < 0 || f.TransientRate >= 1 {
+		return &ConfigError{Field: "Faults.TransientRate", Reason: fmt.Sprintf("rate %v outside [0, 1)", f.TransientRate)}
+	}
+	if f.RetryMax < 0 {
+		return &ConfigError{Field: "Faults.RetryMax", Reason: fmt.Sprintf("retry cap %d below 1 (zero selects the default)", f.RetryMax)}
+	}
+	if f.RetryBackoff < 0 {
+		return &ConfigError{Field: "Faults.RetryBackoff", Reason: fmt.Sprintf("negative backoff %v", f.RetryBackoff)}
+	}
+	if f.RetryBackoffCap < 0 {
+		return &ConfigError{Field: "Faults.RetryBackoffCap", Reason: fmt.Sprintf("negative backoff cap %v", f.RetryBackoffCap)}
+	}
+	for i, df := range f.DiskFailures {
+		if df.Disk < 0 || df.Disk >= disks {
+			return &ConfigError{
+				Field:  fmt.Sprintf("Faults.DiskFailures[%d].Disk", i),
+				Reason: fmt.Sprintf("disk %d out of range [0,%d)", df.Disk, disks),
+			}
+		}
+		if df.At <= 0 {
+			return &ConfigError{
+				Field:  fmt.Sprintf("Faults.DiskFailures[%d].At", i),
+				Reason: fmt.Sprintf("failure time %v not after error arrival (t=0)", df.At),
+			}
+		}
+	}
+	return nil
+}
+
+// spareLoc records where a checkpointed (already rebuilt) chunk lives.
+type spareLoc struct {
+	disk int
+	addr int64
+}
+
+// armFaults installs the per-disk fault plans on the array config and
+// returns the earliest failure time per disk.
+func armFaults(f *FaultConfig, arrayCfg *disk.ArrayConfig) map[int]sim.Time {
+	failAt := make(map[int]sim.Time)
+	for _, df := range f.DiskFailures {
+		if cur, ok := failAt[df.Disk]; !ok || df.At < cur {
+			failAt[df.Disk] = df.At
+		}
+	}
+	arrayCfg.FaultFor = func(i int) disk.FaultPlan {
+		at := failAt[i]
+		if f.URERate == 0 && f.TransientRate == 0 && at == 0 {
+			return nil
+		}
+		return disk.NewSeededFaultPlan(i, f.Seed, f.URERate, f.TransientRate, at)
+	}
+	return failAt
+}
+
+// scheduleFailures arms the engine's re-planning reaction to each
+// distinct disk failure. The disks themselves fail first at the same
+// timestamp (their failure events were scheduled during array
+// construction and the simulator breaks time ties by insertion order).
+func (e *engine) scheduleFailures(failAt map[int]sim.Time) {
+	cols := make([]int, 0, len(failAt))
+	for c := range failAt {
+		cols = append(cols, c)
+	}
+	sort.Ints(cols)
+	for _, col := range cols {
+		col := col
+		e.sim.ScheduleAt(failAt[col], func() { e.onDiskFailure(col) })
+	}
+}
+
+// onDiskFailure reacts to one whole-disk failure: the remaining work is
+// re-planned exactly once per failure by flagging every active worker
+// to regenerate its scheme at the next barrier.
+func (e *engine) onDiskFailure(col int) {
+	if e.failedCols[col] {
+		return
+	}
+	e.failedCols[col] = true
+	e.rePlans++
+	for _, w := range e.workers {
+		if w.scheme != nil {
+			w.regen = true
+		}
+	}
+}
+
+// loseChunk accounts one chunk as unrecoverable.
+func (e *engine) loseChunk(id cache.ChunkID) {
+	e.lostChunks = append(e.lostChunks, id)
+}
+
+// escalate promotes a fetch chunk to lost after an unrecoverable read
+// error (or an exhausted retry budget): its now-stale cached copy is
+// invalidated and the current scheme is marked for regeneration.
+func (w *worker) escalate(cell grid.Coord, id cache.ChunkID) {
+	e := w.engine
+	e.escalations++
+	if w.escalSet == nil {
+		w.escalSet = make(map[grid.Coord]bool)
+	}
+	if !w.escalSet[cell] {
+		w.escalSet[cell] = true
+		w.escalated = append(w.escalated, cell)
+	}
+	// If the cell had been checkpointed its spare copy is what just
+	// failed to read; it needs rebuilding again.
+	delete(w.recovered, cell)
+	if inv, ok := w.cache.(cache.Invalidator); ok {
+		inv.Invalidate(id)
+	}
+	w.aborted = true
+}
+
+// markRecovered checkpoints one rebuilt chunk: after a re-plan it is
+// re-read from its spare location instead of being rebuilt again.
+func (w *worker) markRecovered(cell grid.Coord, diskID int, addr int64) {
+	e := w.engine
+	if e.faults == nil {
+		return
+	}
+	if w.recovered == nil {
+		w.recovered = make(map[grid.Coord]spareLoc)
+	}
+	w.recovered[cell] = spareLoc{disk: diskID, addr: addr}
+	if e.sim.Now() > e.lastRepair {
+		e.lastRepair = e.sim.Now()
+	}
+}
+
+// issueFetch reads one missed chunk from the array (or from its spare
+// checkpoint) and reacts to injected faults per the escalation ladder.
+// done is called exactly once, when the fetch succeeds or is abandoned.
+func (w *worker) issueFetch(stripe int, cell grid.Coord, id cache.ChunkID, attempt int, done func()) {
+	e := w.engine
+	complete := func(r *disk.Request, issued, completed sim.Time) {
+		if !r.Failed {
+			e.recordResponse(e.cfg.CacheAccess + (completed - issued))
+			done()
+			return
+		}
+		e.failedReads++
+		switch r.Fault {
+		case disk.FaultTransient:
+			if attempt+1 < e.faults.RetryMax {
+				e.retries++
+				e.sim.Schedule(w.backoff(attempt), func() {
+					w.issueFetch(stripe, cell, id, attempt+1, done)
+				})
+				return
+			}
+			w.escalate(cell, id)
+			done()
+		case disk.FaultURE:
+			// UREs are permanent per address; retrying cannot help.
+			w.escalate(cell, id)
+			done()
+		default: // whole-disk failure: the re-plan handles this column
+			w.regen = true
+			done()
+		}
+	}
+	var err error
+	if loc, ok := w.recovered[cell]; ok {
+		err = e.array.ReadAddrEx(loc.disk, loc.addr, complete)
+	} else {
+		err = e.array.ReadChunkEx(stripe, cell, complete)
+	}
+	if err != nil {
+		panic(fmt.Sprintf("rebuild: read failed: %v", err))
+	}
+}
+
+// backoff returns the capped exponential retry delay for the given
+// prior-attempt count.
+func (w *worker) backoff(attempt int) sim.Time {
+	f := w.engine.faults
+	d := f.RetryBackoff
+	for i := 0; i < attempt && d < f.RetryBackoffCap; i++ {
+		d *= 2
+	}
+	if d > f.RetryBackoffCap {
+		d = f.RetryBackoffCap
+	}
+	return d
+}
+
+// writeRecovered writes one rebuilt chunk to the spare area of its home
+// disk, failing over to the next surviving disk, and checkpoints the
+// result. With every disk dead the chunk has nowhere to live and is
+// accounted lost.
+func (w *worker) writeRecovered(sel core.SelectedChain) {
+	e := w.engine
+	var target int
+	var addr int64
+	target, addr = e.array.WriteSpareEx(sel.Lost.Col, func(r *disk.Request, issued, completed sim.Time) {
+		if r.Failed {
+			// The spare target died mid-write; try the next survivor.
+			w.writeRecovered(sel)
+			return
+		}
+		w.markRecovered(sel.Lost, target, addr)
+		w.startChain()
+	})
+	if target < 0 {
+		e.loseChunk(cache.ChunkID{Stripe: w.scheme.Err.Stripe, Cell: sel.Lost})
+		w.startChain()
+	}
+}
+
+// unavailableCells lists this stripe's chunks on failed columns that
+// are not covered by exclude (cells being repaired here or readable
+// from a live spare checkpoint). Columns are walked in sorted order so
+// regeneration is deterministic.
+func (e *engine) unavailableCells(exclude func(grid.Coord) bool) []grid.Coord {
+	layout := e.cfg.Code.Layout()
+	cols := make([]int, 0, len(e.failedCols))
+	for c := range e.failedCols {
+		cols = append(cols, c)
+	}
+	sort.Ints(cols)
+	var out []grid.Coord
+	for _, col := range cols {
+		for r := 0; r < layout.Rows(); r++ {
+			c := grid.Coord{Row: r, Col: col}
+			if !exclude(c) {
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+// regenerate rebuilds the worker's recovery scheme mid-group after
+// escalations or disk failures changed the erasure pattern. Chunks
+// already rebuilt stay checkpointed in their spare areas (unless the
+// spare's disk died); cells even the GF(2) decoder cannot solve are
+// accounted as data loss and repair continues with the rest.
+func (w *worker) regenerate() {
+	e := w.engine
+	w.aborted, w.regen = false, false
+	e.regenerations++
+	group := w.scheme.Err
+
+	inRepair := make(map[grid.Coord]bool)
+	var repair []grid.Coord
+	addRepair := func(c grid.Coord) {
+		if inRepair[c] {
+			return
+		}
+		if loc, ok := w.recovered[c]; ok {
+			if !e.failedCols[loc.disk] {
+				return // checkpointed: readable from its live spare
+			}
+			delete(w.recovered, c) // the spare died with its disk
+		}
+		inRepair[c] = true
+		repair = append(repair, c)
+	}
+	for _, c := range group.LostCells() {
+		addRepair(c)
+	}
+	for _, c := range w.escalated {
+		addRepair(c)
+	}
+	e.checkpointed += uint64(len(w.recovered))
+
+	unavailable := e.unavailableCells(func(c grid.Coord) bool {
+		if inRepair[c] {
+			return true
+		}
+		_, ok := w.recovered[c]
+		return ok
+	})
+
+	start := time.Now()
+	scheme, lost, err := core.RegenerateScheme(e.cfg.Code, group, repair, unavailable, e.cfg.Strategy)
+	wall := time.Since(start)
+	e.schemeWall += wall
+	if err != nil {
+		// Inputs were validated and bounds-checked; this is a bug.
+		panic(fmt.Sprintf("rebuild: scheme regeneration failed: %v", err))
+	}
+	for _, c := range lost {
+		e.loseChunk(cache.ChunkID{Stripe: group.Stripe, Cell: c})
+	}
+	w.installScheme(scheme, wall)
+}

@@ -82,6 +82,13 @@ type Config struct {
 	// scrubbing or on access, rather than all being known at time zero.
 	// Zero means every group is available immediately.
 	ErrorInterarrival sim.Time
+
+	// Faults, when non-nil, arms deterministic fault injection: URE and
+	// transient read errors drawn from Faults.Seed plus scheduled
+	// whole-disk failures. See FaultConfig for the escalation ladder.
+	// With Faults nil the fault machinery is fully disabled and every
+	// metric is bit-identical to a build without it.
+	Faults *FaultConfig
 }
 
 // AppWorkload parameterizes the foreground read stream of an online
@@ -148,6 +155,17 @@ func (c *Config) Validate() error {
 			return fmt.Errorf("rebuild: VerifyData requires a code implementing core.Rebuilder")
 		}
 	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(c.Code.Disks()); err != nil {
+			return err
+		}
+		if c.SkipSpareWrites {
+			return &ConfigError{
+				Field:  "Faults",
+				Reason: "fault injection requires spare writes (checkpointed chunks are re-read from their spare locations after a re-plan)",
+			}
+		}
+	}
 	return nil
 }
 
@@ -187,6 +205,30 @@ type Result struct {
 	// ResponseHist is the per-request response-time histogram when
 	// Config.ResponseHistogramMs was set (nil otherwise).
 	ResponseHist *stats.Histogram
+
+	// Fault-injection accounting (all zero unless Config.Faults was set).
+	Retries       uint64 // transient read errors retried with backoff
+	Regenerations uint64 // mid-group recovery-scheme regenerations
+	Escalations   uint64 // chunks escalated to lost (URE or retry budget exhausted)
+	RePlans       uint64 // whole-disk failures that re-planned the remaining work
+	FailedReads   uint64 // recovery reads that completed with a fault
+
+	// CheckpointedChunks counts rebuilt chunks a re-plan did NOT have to
+	// rebuild again because their spare copies survived.
+	CheckpointedChunks uint64
+
+	// DataLoss reports that at least one chunk was unrecoverable even
+	// through the GF(2) decoder fallback. Lost lists those chunks;
+	// LostChunks/LostBytes aggregate them.
+	DataLoss   bool
+	Lost       []cache.ChunkID
+	LostChunks int
+	LostBytes  int64
+
+	// VulnerabilityWindow is the simulated time of the last successful
+	// chunk repair — the span during which the array ran with degraded
+	// redundancy.
+	VulnerabilityWindow sim.Time
 }
 
 // ReadBalance returns max/mean of per-disk read counts — 1.0 means
@@ -292,26 +334,41 @@ func Run(cfg Config, errors []core.PartialStripeError) (*Result, error) {
 		}
 	}
 	if cfg.Mode == ModeDOR {
-		if cfg.App != nil || cfg.VerifyData || len(cfg.ResponseHistogramMs) > 0 || cfg.ErrorInterarrival > 0 {
-			return nil, fmt.Errorf("rebuild: DOR mode does not support App, VerifyData, response histograms or staggered error arrival")
+		if cfg.App != nil || cfg.VerifyData || len(cfg.ResponseHistogramMs) > 0 || cfg.ErrorInterarrival > 0 || cfg.Faults != nil {
+			return nil, fmt.Errorf("rebuild: DOR mode does not support App, VerifyData, response histograms, staggered error arrival or fault injection")
 		}
 		return runDOR(cfg, errors)
 	}
 
+	var faults *FaultConfig
+	if cfg.Faults != nil {
+		f := cfg.Faults.withDefaults()
+		faults = &f
+	}
 	s := sim.New()
-	array, err := disk.NewArray(s, disk.ArrayConfig{
+	arrayCfg := disk.ArrayConfig{
 		Disks:     cfg.Code.Disks(),
 		Rows:      cfg.Code.Rows(),
 		Stripes:   cfg.Stripes,
 		ChunkSize: cfg.ChunkSize,
 		ModelFor:  cfg.ModelFor,
 		Scheduler: cfg.Scheduler,
-	})
+	}
+	var failAt map[int]sim.Time
+	if faults != nil {
+		failAt = armFaults(faults, &arrayCfg)
+	}
+	array, err := disk.NewArray(s, arrayCfg)
 	if err != nil {
 		return nil, err
 	}
 
 	e := &engine{cfg: cfg, sim: s, array: array, groups: errors, stripeOwner: make(map[int]int)}
+	if faults != nil {
+		e.faults = faults
+		e.failedCols = make(map[int]bool)
+		e.scheduleFailures(failAt)
+	}
 	e.available = len(errors)
 	if cfg.ErrorInterarrival > 0 {
 		e.available = 0
@@ -373,6 +430,19 @@ func Run(cfg Config, errors []core.PartialStripeError) (*Result, error) {
 	res.DiskReads = total.Reads
 	res.DiskWrites = total.Writes
 	res.ResponseHist = e.respHist
+	if e.faults != nil {
+		res.Retries = e.retries
+		res.Regenerations = e.regenerations
+		res.Escalations = e.escalations
+		res.RePlans = e.rePlans
+		res.FailedReads = e.failedReads
+		res.CheckpointedChunks = e.checkpointed
+		res.Lost = e.lostChunks
+		res.LostChunks = len(e.lostChunks)
+		res.LostBytes = int64(len(e.lostChunks)) * int64(cfg.ChunkSize)
+		res.DataLoss = len(e.lostChunks) > 0
+		res.VulnerabilityWindow = e.lastRepair
+	}
 	for i := 0; i < array.Disks(); i++ {
 		res.PerDisk = append(res.PerDisk, array.Disk(i).Stats())
 	}
@@ -406,6 +476,18 @@ type engine struct {
 	verifiedChunks uint64
 	verifyErr      error
 	respHist       *stats.Histogram
+
+	// Fault-injection state (nil / zero unless Config.Faults was set).
+	faults       *FaultConfig // defaulted copy
+	failedCols   map[int]bool // columns of dead disks
+	retries      uint64
+	regenerations uint64
+	escalations  uint64
+	rePlans      uint64
+	failedReads  uint64
+	checkpointed uint64
+	lostChunks   []cache.ChunkID
+	lastRepair   sim.Time
 }
 
 // arriveGroup makes one more error group available and wakes a parked
@@ -437,6 +519,13 @@ type worker struct {
 	scheme   *core.Scheme
 	chainIdx int
 	stripe   []chunk.Chunk // materialized contents when VerifyData is set
+
+	// Fault state for the group in progress (Config.Faults only).
+	recovered map[grid.Coord]spareLoc // checkpointed chunks → spare location
+	escalated []grid.Coord            // cells escalated to lost, in order
+	escalSet  map[grid.Coord]bool
+	aborted   bool // current chain hit an escalation; regenerate at the barrier
+	regen     bool // a disk failed since the scheme was generated; re-plan
 }
 
 // scheduleAppWorkload arms the foreground read stream: requests arrive
@@ -496,11 +585,23 @@ func (w *worker) materializeStripe(stripeIdx int) []chunk.Chunk {
 }
 
 // verifyChain checks that rebuilding from the chain's other members
-// reproduces the lost chunk's contents.
+// reproduces the lost chunk's contents. Decoded chains (GF(2) fallback
+// after escalation) carry no parity chain; their fetch set's XOR is
+// checked directly.
 func (w *worker) verifyChain(sel core.SelectedChain) {
 	e := w.engine
 	rb := e.cfg.Code.(core.Rebuilder)
-	got, err := rb.RebuildChunk(sel.Chain, sel.Lost, w.stripe)
+	var got chunk.Chunk
+	var err error
+	if sel.Decoded {
+		acc := chunk.New(e.cfg.ChunkSize)
+		for _, m := range sel.Fetch {
+			chunk.XORInto(acc, w.stripe[core.CellIndex(rb.Layout(), m)])
+		}
+		got = acc
+	} else {
+		got, err = rb.RebuildChunk(sel.Chain, sel.Lost, w.stripe)
+	}
 	if err == nil && !got.Equal(w.stripe[core.CellIndex(rb.Layout(), sel.Lost)]) {
 		err = fmt.Errorf("rebuild: recovered chunk %v of %v does not match original contents", sel.Lost, w.scheme.Err)
 	}
@@ -539,13 +640,39 @@ func (w *worker) nextGroup() {
 	}
 
 	start := time.Now()
-	scheme, err := core.GenerateScheme(e.cfg.Code, group, e.cfg.Strategy)
+	var scheme *core.Scheme
+	var err error
+	if len(e.failedCols) > 0 {
+		// Disks have failed since the run started: plan around their
+		// columns from the outset, accounting unsolvable cells as lost.
+		repair := group.LostCells()
+		inRepair := make(map[grid.Coord]bool, len(repair))
+		for _, c := range repair {
+			inRepair[c] = true
+		}
+		unavailable := e.unavailableCells(func(c grid.Coord) bool { return inRepair[c] })
+		var lost []grid.Coord
+		scheme, lost, err = core.RegenerateScheme(e.cfg.Code, group, repair, unavailable, e.cfg.Strategy)
+		for _, c := range lost {
+			e.loseChunk(cache.ChunkID{Stripe: group.Stripe, Cell: c})
+		}
+	} else {
+		scheme, err = core.GenerateScheme(e.cfg.Code, group, e.cfg.Strategy)
+	}
 	wall := time.Since(start)
 	e.schemeWall += wall
 	if err != nil {
 		// Validated upfront; a failure here is a bug worth surfacing.
 		panic(fmt.Sprintf("rebuild: scheme generation failed mid-run: %v", err))
 	}
+	w.installScheme(scheme, wall)
+}
+
+// installScheme adopts a freshly generated (or regenerated) scheme:
+// priorities and future knowledge are pushed into the cache and chain
+// replay starts, after the scheme-generation charge if configured.
+func (w *worker) installScheme(scheme *core.Scheme, wall time.Duration) {
+	e := w.engine
 	w.scheme = scheme
 	w.chainIdx = 0
 	if pa, ok := w.cache.(cache.PriorityAware); ok {
@@ -566,9 +693,14 @@ func (w *worker) nextGroup() {
 // write for the recovered chunk.
 func (w *worker) startChain() {
 	e := w.engine
+	if w.aborted || w.regen {
+		w.regenerate()
+		return
+	}
 	if w.chainIdx >= len(w.scheme.Selected) {
 		w.scheme = nil
 		w.stripe = nil
+		w.recovered, w.escalated, w.escalSet = nil, nil, nil
 		w.nextGroup()
 		return
 	}
@@ -585,6 +717,12 @@ func (w *worker) startChain() {
 		}
 	}
 	barrier = func() {
+		if w.aborted || w.regen {
+			// The chain's fetches are incomplete (escalated chunk or dead
+			// disk); its XOR would be garbage. Re-plan instead.
+			w.regenerate()
+			return
+		}
 		// XOR the fetched chunks, then write the recovered chunk to the
 		// failed disk's spare area.
 		e.xorChunks += uint64(len(sel.Fetch))
@@ -597,12 +735,7 @@ func (w *worker) startChain() {
 				w.startChain()
 				return
 			}
-			err := e.array.WriteSpare(w.scheme.Err.Disk, func(issued, completed sim.Time) {
-				w.startChain()
-			})
-			if err != nil {
-				panic(fmt.Sprintf("rebuild: spare write failed: %v", err))
-			}
+			w.writeRecovered(sel)
 		})
 	}
 
@@ -624,13 +757,7 @@ func (w *worker) startChain() {
 		outstanding++
 		cell := cell
 		e.sim.ScheduleAt(lookupDone, func() {
-			err := e.array.ReadChunk(stripe, cell, func(issued, completed sim.Time) {
-				e.recordResponse(e.cfg.CacheAccess + (completed - issued))
-				done()
-			})
-			if err != nil {
-				panic(fmt.Sprintf("rebuild: read failed: %v", err))
-			}
+			w.issueFetch(stripe, cell, id, 0, done)
 		})
 	}
 	// The lookup phase ends after the last sequential access.

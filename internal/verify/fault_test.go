@@ -1,0 +1,71 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"fbf/internal/codes"
+	"fbf/internal/core"
+	"fbf/internal/grid"
+)
+
+// TestSweepEscalations byte-verifies regenerated recovery schemes for
+// every code family: URE escalations, cascading column failures within
+// tolerance, and beyond-tolerance patterns whose loss verdicts must
+// match the gf2 oracle.
+func TestSweepEscalations(t *testing.T) {
+	for _, name := range codes.Names() {
+		for _, p := range []int{5, 7} {
+			code := codes.MustNew(name, p)
+			t.Run(code.String(), func(t *testing.T) {
+				report, err := SweepEscalations(StripeConfig{Code: code, Seed: 42})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if report.Schemes == 0 || report.Recovered == 0 {
+					t.Fatalf("empty sweep: %v", report)
+				}
+				// The three-extra-columns cases must exercise the
+				// graceful-loss path on every 3DFT code.
+				if report.Unsolvable == 0 {
+					t.Errorf("no unsolvable cells confirmed: %v", report)
+				}
+				if !strings.Contains(report.String(), "byte-verified") {
+					t.Errorf("report string: %q", report.String())
+				}
+			})
+		}
+	}
+}
+
+// TestCheckEscalatedRecoveryRejectsBadInputs covers the guard rails.
+func TestCheckEscalatedRecoveryRejectsBadInputs(t *testing.T) {
+	code := codes.MustNew("tip", 5)
+	bad := core.PartialStripeError{Stripe: 0, Disk: code.Disks(), Row: 0, Size: 1}
+	if _, _, err := CheckEscalatedRecovery(code, bad, nil, nil, core.StrategyLooped, 64, 1); err == nil {
+		t.Error("invalid error pattern accepted")
+	}
+	good := core.PartialStripeError{Stripe: 0, Disk: 0, Row: 0, Size: 1}
+	if _, _, err := CheckEscalatedRecovery(code, good, []grid.Coord{{Row: 0, Col: code.Disks()}}, nil, core.StrategyLooped, 64, 1); err == nil {
+		t.Error("out-of-bounds escalated cell accepted")
+	}
+}
+
+// TestEscalatedRecoveryMatchesPlainGeneration pins that with no
+// escalations and no failed columns a regenerated scheme recovers the
+// same bytes a plain scheme does — the conformance harness and the
+// original harness agree on the shared subset.
+func TestEscalatedRecoveryMatchesPlainGeneration(t *testing.T) {
+	code := codes.MustNew("star", 7)
+	e := core.PartialStripeError{Stripe: 0, Disk: 2, Row: 1, Size: 3}
+	rec, uns, err := CheckEscalatedRecovery(code, e, nil, nil, core.StrategyLooped, 64, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec != e.Size || uns != 0 {
+		t.Errorf("recovered %d cells (%d unsolvable), want %d (0)", rec, uns, e.Size)
+	}
+	if err := CheckPattern(code, e, core.StrategyLooped, 64, 7); err != nil {
+		t.Errorf("plain harness disagrees: %v", err)
+	}
+}
