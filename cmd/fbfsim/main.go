@@ -12,11 +12,21 @@
 //	       [-groups N] [-workers N] [-stripes N] [-seed N]
 //	       [-strategy typical|looped|greedy] [-dist uniform|fixed|geometric]
 //	       [-csv] [-parallel N] [-progress]
+//	       [-trace-out run.trace.json] [-trace-jsonl run.jsonl]
+//	       [-metrics-out metrics.csv|metrics.json] [-metrics-interval MS]
+//	       [-pprof-cpu cpu.prof] [-pprof-mem mem.prof]
 //
 // Sweeps fan their independent simulation runs out across cores
 // (-parallel, default GOMAXPROCS); every run is an isolated
 // deterministic simulation, so the output is identical at any
 // parallelism level.
+//
+// An observability flag (-trace-out, -trace-jsonl, -metrics-out) runs a
+// single instrumented rebuild instead of a sweep — the first configured
+// (code, p, policy, size) point, or tip(p=13)/fbf/64MB by default — and
+// writes the exports before a one-line summary. Traces are stamped in
+// simulated time and reproduce byte for byte; load -trace-out in
+// chrome://tracing or Perfetto, or feed -trace-jsonl to fbftrace.
 package main
 
 import (
@@ -26,6 +36,9 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"strings"
 )
 
 func main() {
@@ -57,6 +70,12 @@ func main() {
 	csv := flag.Bool("csv", false, "emit figures as CSV instead of text tables")
 	parallel := flag.Int("parallel", 0, "concurrent simulation runs per sweep (0 = GOMAXPROCS, 1 = serial); results are identical at any level")
 	progress := flag.Bool("progress", false, "report sweep progress on stderr")
+	traceOut := flag.String("trace-out", "", "run one traced rebuild and write its Chrome trace-event JSON here (load in chrome://tracing or Perfetto)")
+	traceJSONL := flag.String("trace-jsonl", "", "run one traced rebuild and write its event stream as JSONL here (fbftrace input)")
+	metricsOut := flag.String("metrics-out", "", "run one instrumented rebuild and write its sampled metrics here (CSV if the path ends in .csv, JSON otherwise)")
+	metricsInterval := flag.Float64("metrics-interval", 10, "metrics sampling period in simulated ms")
+	pprofCPU := flag.String("pprof-cpu", "", "write a CPU profile of the whole invocation here")
+	pprofMem := flag.String("pprof-mem", "", "write a heap profile at exit here")
 	flag.Parse()
 
 	params := fbf.DefaultExperimentParams()
@@ -89,16 +108,16 @@ func main() {
 		params.Policies = cli.SplitList(*policiesFlag)
 	}
 	if *primesFlag != "" {
-		primes, err := cli.ParseInts(*primesFlag)
+		primes, err := cli.ParseIntsFlag("p", *primesFlag)
 		if err != nil {
-			log.Fatalf("bad -p: %v", err)
+			log.Fatal(err)
 		}
 		params.Primes = primes
 	}
 	if *sizesFlag != "" {
-		sizes, err := cli.ParseInts(*sizesFlag)
+		sizes, err := cli.ParseIntsFlag("sizes", *sizesFlag)
 		if err != nil {
-			log.Fatalf("bad -sizes: %v", err)
+			log.Fatal(err)
 		}
 		params.CacheSizesMB = sizes
 	}
@@ -116,6 +135,45 @@ func main() {
 		params.Dist = fbf.SizeGeometric
 	default:
 		log.Fatalf("bad -dist %q", *distFlag)
+	}
+
+	// Validate every output path up front: a long simulation must not
+	// discover an unwritable -trace-out/-metrics-out/-pprof-* path only
+	// when it finally tries to write.
+	outputs := map[string]*os.File{}
+	for _, o := range []struct{ name, path string }{
+		{"trace-out", *traceOut},
+		{"trace-jsonl", *traceJSONL},
+		{"metrics-out", *metricsOut},
+		{"pprof-cpu", *pprofCPU},
+		{"pprof-mem", *pprofMem},
+	} {
+		if o.path == "" {
+			continue
+		}
+		f, err := cli.CreateOutput(o.name, o.path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		outputs[o.name] = f
+		defer f.Close()
+	}
+	if *metricsInterval <= 0 {
+		log.Fatalf("bad -metrics-interval %v: must be > 0 ms", *metricsInterval)
+	}
+	if f := outputs["pprof-cpu"]; f != nil {
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("bad -pprof-cpu: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if f := outputs["pprof-mem"]; f != nil {
+		defer func() {
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatalf("bad -pprof-mem: %v", err)
+			}
+		}()
 	}
 
 	runAll := *figFlag == 0 && *tableFlag == 0 && !*ablation && !*online && !*modes && !*durability
@@ -242,9 +300,9 @@ func main() {
 		if *primesFlag == "" {
 			p.Primes = []int{7}
 		}
-		rates, err := cli.ParseFloats(*ureRatesFlag)
+		rates, err := cli.ParseFloatsFlag("ure-rates", *ureRatesFlag)
 		if err != nil {
-			log.Fatalf("bad -ure-rates: %v", err)
+			log.Fatal(err)
 		}
 		rows, err := fbf.Durability(p, fbf.DurabilityConfig{
 			URERates:        rates,
@@ -261,6 +319,87 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Fprintln(out)
+	}
+
+	// An observability sink runs one instrumented rebuild instead of a
+	// sweep: the first configured (code, p, policy, size) point — or the
+	// paper's tip(p=13)/fbf/64MB when the axes were left at their
+	// defaults — traced and/or sampled, with the exports written before
+	// the summary line. The trace is stamped in simulated time, so the
+	// same flags reproduce it byte for byte (unless ChargeSchemeGen-style
+	// wall-clock charging is enabled elsewhere).
+	if outputs["trace-out"] != nil || outputs["trace-jsonl"] != nil || outputs["metrics-out"] != nil {
+		code, prime, policy, sizeMB := "tip", 13, "fbf", 64
+		if *codesFlag != "" {
+			code = params.Codes[0]
+		}
+		if *primesFlag != "" {
+			prime = params.Primes[0]
+		}
+		if *policiesFlag != "" {
+			policy = params.Policies[0]
+		}
+		if *sizesFlag != "" {
+			sizeMB = params.CacheSizesMB[0]
+		}
+		geom, err := fbf.ResolveGeometry(code, prime)
+		if err != nil {
+			log.Fatal(err)
+		}
+		errs, err := fbf.GenerateTrace(geom, fbf.TraceConfig{
+			Groups: params.Groups, Stripes: params.Stripes,
+			Seed: params.Seed, Disk: -1, Dist: params.Dist,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := fbf.SimConfig{
+			Code: geom, Policy: policy, Strategy: params.Strategy,
+			Workers: params.Workers, CacheChunks: params.CacheChunks(sizeMB),
+			ChunkSize: params.ChunkSizeKB * 1024, Stripes: params.Stripes,
+		}
+		var collector *fbf.TraceCollector
+		if outputs["trace-out"] != nil || outputs["trace-jsonl"] != nil {
+			collector = fbf.NewTraceCollector()
+			cfg.Tracer = collector
+		}
+		var reg *fbf.MetricsRegistry
+		if outputs["metrics-out"] != nil {
+			reg = fbf.NewMetricsRegistry()
+			cfg.Metrics = reg
+			cfg.MetricsInterval = fbf.SimTime(*metricsInterval * float64(fbf.Millisecond))
+		}
+		res, err := fbf.Run(cfg, errs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if f := outputs["trace-out"]; f != nil {
+			if err := fbf.WriteChromeTrace(f, collector.Events()); err != nil {
+				log.Fatalf("-trace-out: %v", err)
+			}
+		}
+		if f := outputs["trace-jsonl"]; f != nil {
+			if err := fbf.WriteTraceJSONL(f, collector.Events()); err != nil {
+				log.Fatalf("-trace-jsonl: %v", err)
+			}
+		}
+		if f := outputs["metrics-out"]; f != nil {
+			if strings.HasSuffix(*metricsOut, ".csv") {
+				err = reg.WriteCSV(f)
+			} else {
+				err = reg.WriteJSON(f)
+			}
+			if err != nil {
+				log.Fatalf("-metrics-out: %v", err)
+			}
+		}
+		events := 0
+		if collector != nil {
+			events = collector.Len()
+		}
+		fmt.Fprintf(out, "observed run %s(p=%d) %s %dMB: hit ratio %.3f, %d disk reads, %v reconstruction, %d trace events\n",
+			code, prime, policy, sizeMB, res.HitRatio(), res.DiskReads, res.Makespan, events)
+		return
 	}
 
 	switch {

@@ -42,6 +42,7 @@ import (
 	"fbf/internal/experiments"
 	"fbf/internal/grid"
 	"fbf/internal/lrc"
+	"fbf/internal/obs"
 	"fbf/internal/rebuild"
 	"fbf/internal/sim"
 	"fbf/internal/trace"
@@ -331,6 +332,49 @@ var (
 	RenderTable5 = experiments.RenderTable5
 	// RenderSchemeAblation prints the scheme ablation table.
 	RenderSchemeAblation = experiments.RenderSchemeAblation
+)
+
+// Observability (deterministic tracing and metrics; see "Observability"
+// in DESIGN.md). Attach a TraceCollector or MetricsRegistry to
+// SimConfig.Tracer / SimConfig.Metrics, or to a sweep point through
+// ExperimentParams.Observe; events are stamped in simulated time, so a
+// run's trace is bit-identical across hosts and sweep parallelism.
+type (
+	// Tracer receives the simulation event stream.
+	Tracer = obs.Tracer
+	// TraceEvent is one traced span, instant or counter sample.
+	TraceEvent = obs.Event
+	// TraceCollector is the in-memory Tracer.
+	TraceCollector = obs.Collector
+	// MetricsRegistry samples counters/gauges/histograms on a simulated
+	// -time tick.
+	MetricsRegistry = obs.Registry
+	// TraceSummary is the per-phase breakdown computed from a trace.
+	TraceSummary = obs.Summary
+	// RunObs carries the observability sinks for one sweep point
+	// (ExperimentParams.Observe).
+	RunObs = experiments.RunObs
+)
+
+// Observability functions.
+var (
+	// NewTraceCollector builds an in-memory event sink.
+	NewTraceCollector = obs.NewCollector
+	// ValidateTrace checks an event stream's schema invariants.
+	ValidateTrace = obs.Validate
+	// WriteChromeTrace exports a trace as Chrome trace-event JSON
+	// (chrome://tracing, Perfetto).
+	WriteChromeTrace = obs.WriteChrome
+	// WriteTraceJSONL exports a trace as one JSON event per line.
+	WriteTraceJSONL = obs.WriteJSONL
+	// ReadTraceJSONL parses a JSONL trace.
+	ReadTraceJSONL = obs.ReadJSONL
+	// SummarizeTrace computes the per-phase breakdown of a trace.
+	SummarizeTrace = obs.Summarize
+	// RenderTraceSummary prints a trace summary as text.
+	RenderTraceSummary = obs.RenderSummary
+	// NewMetricsRegistry builds an empty metrics registry.
+	NewMetricsRegistry = obs.NewRegistry
 )
 
 // Verification (byte-level conformance; see "Correctness" in DESIGN.md).

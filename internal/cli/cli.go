@@ -4,6 +4,8 @@ package cli
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 )
@@ -45,4 +47,48 @@ func ParseFloats(s string) ([]float64, error) {
 		out = append(out, v)
 	}
 	return out, nil
+}
+
+// ParseIntsFlag is ParseInts with the offending flag named in the
+// error, so binaries report "bad -p: ..." instead of a bare parse
+// failure.
+func ParseIntsFlag(flagName, s string) ([]int, error) {
+	out, err := ParseInts(s)
+	if err != nil {
+		return nil, fmt.Errorf("bad -%s: %w", flagName, err)
+	}
+	return out, nil
+}
+
+// ParseFloatsFlag is ParseFloats with the offending flag named in the
+// error.
+func ParseFloatsFlag(flagName, s string) ([]float64, error) {
+	out, err := ParseFloats(s)
+	if err != nil {
+		return nil, fmt.Errorf("bad -%s: %w", flagName, err)
+	}
+	return out, nil
+}
+
+// CreateOutput creates (truncating) the output file a flag points at,
+// validating writability up front so a long run cannot fail at write
+// time; errors name the flag and reject directories and missing parent
+// directories explicitly.
+func CreateOutput(flagName, path string) (*os.File, error) {
+	if path == "" {
+		return nil, fmt.Errorf("bad -%s: empty output path", flagName)
+	}
+	if info, err := os.Stat(path); err == nil && info.IsDir() {
+		return nil, fmt.Errorf("bad -%s: %q is a directory", flagName, path)
+	}
+	if dir := filepath.Dir(path); dir != "." {
+		if info, err := os.Stat(dir); err != nil || !info.IsDir() {
+			return nil, fmt.Errorf("bad -%s: output directory %q does not exist", flagName, dir)
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("bad -%s: cannot create %q: %w", flagName, path, err)
+	}
+	return f, nil
 }

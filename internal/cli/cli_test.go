@@ -1,6 +1,10 @@
 package cli
 
-import "testing"
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
 func TestSplitList(t *testing.T) {
 	cases := []struct {
@@ -37,5 +41,43 @@ func TestParseInts(t *testing.T) {
 	}
 	if got, err := ParseInts(""); err != nil || len(got) != 0 {
 		t.Errorf("empty = %v, %v", got, err)
+	}
+}
+
+func TestParseFlagVariantsNameTheFlag(t *testing.T) {
+	if _, err := ParseIntsFlag("p", "1,x"); err == nil || !strings.Contains(err.Error(), "bad -p") {
+		t.Errorf("ParseIntsFlag error does not name the flag: %v", err)
+	}
+	if _, err := ParseFloatsFlag("ure-rates", "0.1,nope"); err == nil || !strings.Contains(err.Error(), "bad -ure-rates") {
+		t.Errorf("ParseFloatsFlag error does not name the flag: %v", err)
+	}
+	if got, err := ParseIntsFlag("p", "5,7"); err != nil || len(got) != 2 {
+		t.Errorf("valid list rejected: %v, %v", got, err)
+	}
+}
+
+func TestCreateOutput(t *testing.T) {
+	dir := t.TempDir()
+	ok := filepath.Join(dir, "out.json")
+	f, err := CreateOutput("trace-out", ok)
+	if err != nil {
+		t.Fatalf("writable path rejected: %v", err)
+	}
+	f.Close()
+
+	cases := []struct {
+		name string
+		path string
+	}{
+		{"empty path", ""},
+		{"directory", dir},
+		{"missing parent", filepath.Join(dir, "nope", "out.json")},
+	}
+	for _, c := range cases {
+		if _, err := CreateOutput("trace-out", c.path); err == nil {
+			t.Errorf("%s accepted", c.name)
+		} else if !strings.Contains(err.Error(), "bad -trace-out") {
+			t.Errorf("%s error does not name the flag: %v", c.name, err)
+		}
 	}
 }

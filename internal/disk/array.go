@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"fbf/internal/grid"
+	"fbf/internal/obs"
 	"fbf/internal/sim"
 )
 
@@ -37,6 +38,10 @@ type ArrayConfig struct {
 	// FaultFor returns the fault plan of disk i (nil for none). When nil
 	// no disk faults, preserving the legacy always-succeeds behaviour.
 	FaultFor func(i int) FaultPlan
+	// Tracer, when non-nil, is attached to every disk: each serves its
+	// requests as io spans on its own trace lane plus a queue-occupancy
+	// counter. Nil keeps the disks untraced at zero cost.
+	Tracer obs.Tracer
 }
 
 // NewArray builds the array and its disks.
@@ -59,6 +64,9 @@ func NewArray(s *sim.Simulator, cfg ArrayConfig) (*Array, error) {
 		}
 		d := NewDisk(i, s, model)
 		d.SetScheduler(cfg.Scheduler)
+		if cfg.Tracer != nil {
+			d.SetTracer(cfg.Tracer)
+		}
 		if cfg.FaultFor != nil {
 			if plan := cfg.FaultFor(i); plan != nil {
 				d.SetFaultPlan(plan)

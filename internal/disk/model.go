@@ -10,6 +10,7 @@ import (
 	"math"
 	"math/rand"
 
+	"fbf/internal/obs"
 	"fbf/internal/sim"
 )
 
@@ -171,6 +172,13 @@ type Disk struct {
 	stats     Stats
 	plan      FaultPlan
 	failed    bool
+
+	// tr, when non-nil, receives one io span per served request and a
+	// queue-occupancy counter on this disk's trace lane. Every
+	// instrumented site guards on the nil check, so an untraced disk
+	// does no extra work.
+	tr    obs.Tracer
+	track obs.Track
 }
 
 // NewDisk creates a disk attached to the simulator with FIFO
@@ -185,6 +193,32 @@ func NewDisk(id int, s *sim.Simulator, model Model) *Disk {
 // SetScheduler selects the queue discipline; safe only before traffic
 // starts.
 func (d *Disk) SetScheduler(s Scheduler) { d.scheduler = s }
+
+// SetTracer attaches an event tracer to the disk's lane in the
+// "disks" track group; safe only before traffic starts.
+func (d *Disk) SetTracer(tr obs.Tracer) {
+	d.tr = tr
+	d.track = obs.Track{Group: obs.GroupDisks, ID: d.id}
+}
+
+// InFlight returns the number of requests on the disk: queued plus the
+// one in service, if any.
+func (d *Disk) InFlight() int {
+	if d.busy {
+		return len(d.queue) + 1
+	}
+	return len(d.queue)
+}
+
+// traceQueue emits the queue-occupancy counter sample. Callers hold
+// d.tr != nil.
+func (d *Disk) traceQueue() {
+	d.tr.Emit(obs.Event{
+		Name: "queue", Cat: obs.CatIO, Ph: obs.PhaseCounter,
+		Track: d.track, TS: d.sim.Now(),
+		Args: []obs.Arg{{Key: "depth", Val: int64(len(d.queue))}},
+	})
+}
 
 // pickNext removes and returns the next request per the scheduler.
 func (d *Disk) pickNext() *Request {
@@ -295,6 +329,14 @@ func (d *Disk) failNow() {
 	d.failed = true
 	q := d.queue
 	d.queue = nil
+	if d.tr != nil {
+		d.tr.Emit(obs.Event{
+			Name: "disk-fail", Cat: obs.CatIO, Ph: obs.PhaseInstant,
+			Track: d.track, TS: d.sim.Now(),
+			Args: []obs.Arg{{Key: "queued", Val: int64(len(q))}},
+		})
+		d.traceQueue()
+	}
 	for _, r := range q {
 		d.stats.QueueTime += d.sim.Now() - r.issued
 		d.completeFailed(r, FaultDiskFail)
@@ -335,6 +377,9 @@ func (d *Disk) Submit(r *Request) {
 		d.plan = nil
 	}
 	d.queue = append(d.queue, r)
+	if d.tr != nil {
+		d.traceQueue()
+	}
 	if !d.busy {
 		d.startNext()
 	}
@@ -351,6 +396,10 @@ func (d *Disk) startNext() {
 	service := d.model.ServiceTime(d.head, r.Addr, r.Size, r.Write)
 	d.stats.BusyTime += service
 	d.head = r.Addr
+	start := d.sim.Now()
+	if d.tr != nil {
+		d.traceQueue()
+	}
 	d.sim.Schedule(service, func() {
 		kind := FaultNone
 		if d.failed {
@@ -373,6 +422,25 @@ func (d *Disk) startNext() {
 			d.stats.Writes++
 		} else {
 			d.stats.Reads++
+		}
+		if d.tr != nil {
+			name := "read"
+			if r.Write {
+				name = "write"
+			}
+			failed := int64(0)
+			if r.Failed {
+				failed = 1
+			}
+			d.tr.Emit(obs.Event{
+				Name: name, Cat: obs.CatIO, Ph: obs.PhaseSpan,
+				Track: d.track, TS: start, Dur: service,
+				Args: []obs.Arg{
+					{Key: "addr", Val: r.Addr},
+					{Key: "failed", Val: failed},
+					{Key: "fault", Val: int64(r.Fault)},
+				},
+			})
 		}
 		done := d.sim.Now()
 		r.Done(r.issued, done)

@@ -12,7 +12,9 @@ import (
 	"fbf/internal/codes"
 	"fbf/internal/core"
 	"fbf/internal/lrc"
+	"fbf/internal/obs"
 	"fbf/internal/rebuild"
+	"fbf/internal/sim"
 	"fbf/internal/trace"
 )
 
@@ -64,6 +66,25 @@ type Params struct {
 	// (completed, total) for the current sweep. Calls are serialized
 	// but may come from worker goroutines.
 	Progress func(done, total int)
+
+	// Observe, when non-nil, is consulted once per sweep point before
+	// its run; returning a non-zero RunObs attaches that tracer and/or
+	// metrics registry to the point's rebuild.Config. The hook may be
+	// called from worker goroutines, concurrently, in arbitrary order —
+	// but each point's (code, p, policy, sizeMB) key is stable, so a
+	// per-point sink observes the identical event stream at any
+	// Parallelism (each run is a single-threaded simulation stamped in
+	// simulated time). Return the zero RunObs to leave a point
+	// unobserved.
+	Observe func(code string, p int, policy string, sizeMB int) RunObs
+}
+
+// RunObs carries the observability sinks for one sweep point. The zero
+// value attaches nothing.
+type RunObs struct {
+	Tracer          obs.Tracer
+	Metrics         *obs.Registry
+	MetricsInterval sim.Time
 }
 
 // validateAxes checks the sweep axes an artefact actually uses.
@@ -229,7 +250,7 @@ func Sweep(p Params) ([]Point, error) {
 		prep := preps[i/perPrep]
 		policy := p.Policies[(i%perPrep)/len(p.CacheSizesMB)]
 		sizeMB := p.CacheSizesMB[i%len(p.CacheSizesMB)]
-		res, err := rebuild.Run(rebuild.Config{
+		cfg := rebuild.Config{
 			Code:            prep.code,
 			Policy:          policy,
 			Strategy:        p.Strategy,
@@ -239,7 +260,14 @@ func Sweep(p Params) ([]Point, error) {
 			Stripes:         p.Stripes,
 			SkipSpareWrites: p.FastIO,
 			ChargeSchemeGen: p.ChargeSchemeGen,
-		}, prep.errors)
+		}
+		if p.Observe != nil {
+			o := p.Observe(prep.codeName, prep.prime, policy, sizeMB)
+			cfg.Tracer = o.Tracer
+			cfg.Metrics = o.Metrics
+			cfg.MetricsInterval = o.MetricsInterval
+		}
+		res, err := rebuild.Run(cfg, prep.errors)
 		if err != nil {
 			return fmt.Errorf("experiments: %s(p=%d) %s %dMB: %w", prep.codeName, prep.prime, policy, sizeMB, err)
 		}

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+
+	"fbf/internal/sim"
+)
+
+// WriteChrome serializes events as Chrome trace-event JSON (the JSON
+// object format with a traceEvents array), loadable in Perfetto and
+// chrome://tracing. Track groups become processes and track ids become
+// threads, each named via metadata events so one lane per disk and per
+// worker shows up labelled in the UI.
+//
+// The output is written deterministically — explicit key order, integer
+// microsecond.nanosecond timestamps — so identical event streams
+// serialize to identical bytes.
+func WriteChrome(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+
+	// Assign pids to track groups in first-appearance order and collect
+	// the distinct lanes of each group, preserving appearance order.
+	type lane struct {
+		group string
+		id    int
+	}
+	pids := map[string]int{}
+	var groups []string
+	seenLane := map[lane]bool{}
+	var lanes []lane
+	for _, e := range events {
+		if _, ok := pids[e.Track.Group]; !ok {
+			pids[e.Track.Group] = len(groups) + 1
+			groups = append(groups, e.Track.Group)
+		}
+		l := lane{e.Track.Group, e.Track.ID}
+		if !seenLane[l] {
+			seenLane[l] = true
+			lanes = append(lanes, l)
+		}
+	}
+
+	fmt.Fprint(bw, "{\"traceEvents\":[\n")
+	first := true
+	emit := func(format string, args ...any) {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+		fmt.Fprintf(bw, format, args...)
+	}
+	for _, g := range groups {
+		emit(`{"ph":"M","pid":%d,"tid":0,"name":"process_name","args":{"name":%s}}`,
+			pids[g], strconv.Quote(g))
+	}
+	for _, l := range lanes {
+		emit(`{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":%s}}`,
+			pids[l.group], l.id, strconv.Quote(fmt.Sprintf("%s %d", l.group, l.id)))
+	}
+	for _, e := range events {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+		fmt.Fprintf(bw, `{"ph":%s,"pid":%d,"tid":%d,"ts":%s,`,
+			strconv.Quote(string(rune(e.Ph))), pids[e.Track.Group], e.Track.ID, chromeTS(e.TS))
+		if e.Ph == PhaseSpan {
+			fmt.Fprintf(bw, `"dur":%s,`, chromeTS(e.Dur))
+		}
+		if e.Ph == PhaseInstant {
+			bw.WriteString(`"s":"t",`)
+		}
+		if e.Cat != "" {
+			fmt.Fprintf(bw, `"cat":%s,`, strconv.Quote(e.Cat))
+		}
+		fmt.Fprintf(bw, `"name":%s,"args":{`, strconv.Quote(e.Name))
+		for i, a := range e.Args {
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			fmt.Fprintf(bw, "%s:%d", strconv.Quote(a.Key), a.Val)
+		}
+		bw.WriteString("}}")
+	}
+	fmt.Fprint(bw, "\n],\"displayTimeUnit\":\"ms\"}\n")
+	return bw.Flush()
+}
+
+// chromeTS renders simulated nanoseconds as the microsecond timestamps
+// the Chrome format expects, with exact fractional digits (no float
+// formatting involved, so the bytes are platform-independent).
+func chromeTS(t sim.Time) string {
+	us, ns := int64(t)/1000, int64(t)%1000
+	if ns == 0 {
+		return strconv.FormatInt(us, 10)
+	}
+	return fmt.Sprintf("%d.%03d", us, ns)
+}

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"fbf/internal/sim"
+)
+
+// WriteJSONL serializes events as one JSON object per line — the
+// compact sink for programmatic analysis (cmd/fbftrace consumes it).
+// Keys appear in a fixed order and args in attachment order, so
+// identical event streams serialize to identical bytes.
+//
+// Line schema:
+//
+//	{"ph":"X","group":"disks","id":3,"ts":1500000,"dur":10000000,
+//	 "cat":"io","name":"read","args":{"addr":42}}
+//
+// ts and dur are integer simulated nanoseconds; dur is omitted for
+// instants and counters.
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range events {
+		fmt.Fprintf(bw, `{"ph":%s,"group":%s,"id":%d,"ts":%d`,
+			strconv.Quote(string(rune(e.Ph))), strconv.Quote(e.Track.Group), e.Track.ID, int64(e.TS))
+		if e.Ph == PhaseSpan {
+			fmt.Fprintf(bw, `,"dur":%d`, int64(e.Dur))
+		}
+		if e.Cat != "" {
+			fmt.Fprintf(bw, `,"cat":%s`, strconv.Quote(e.Cat))
+		}
+		fmt.Fprintf(bw, `,"name":%s,"args":{`, strconv.Quote(e.Name))
+		for i, a := range e.Args {
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			fmt.Fprintf(bw, "%s:%d", strconv.Quote(a.Key), a.Val)
+		}
+		bw.WriteString("}}\n")
+	}
+	return bw.Flush()
+}
+
+// jsonlEvent is the wire form ReadJSONL decodes.
+type jsonlEvent struct {
+	Ph    string           `json:"ph"`
+	Group string           `json:"group"`
+	ID    int              `json:"id"`
+	TS    int64            `json:"ts"`
+	Dur   int64            `json:"dur"`
+	Cat   string           `json:"cat"`
+	Name  string           `json:"name"`
+	Args  map[string]int64 `json:"args"`
+}
+
+// ReadJSONL parses a JSONL trace back into events. JSON objects do not
+// preserve arg order, so args come back sorted by key; everything the
+// summary and validation paths consume is order-independent.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var out []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var je jsonlEvent
+		if err := json.Unmarshal(raw, &je); err != nil {
+			return nil, fmt.Errorf("obs: jsonl line %d: %w", line, err)
+		}
+		if len(je.Ph) != 1 {
+			return nil, fmt.Errorf("obs: jsonl line %d: bad phase %q", line, je.Ph)
+		}
+		e := Event{
+			Name:  je.Name,
+			Cat:   je.Cat,
+			Ph:    Phase(je.Ph[0]),
+			Track: Track{Group: je.Group, ID: je.ID},
+			TS:    sim.Time(je.TS),
+			Dur:   sim.Time(je.Dur),
+		}
+		if len(je.Args) > 0 {
+			keys := make([]string, 0, len(je.Args))
+			for k := range je.Args {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				e.Args = append(e.Args, Arg{Key: k, Val: je.Args[k]})
+			}
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: reading jsonl: %w", err)
+	}
+	return out, nil
+}

@@ -9,6 +9,7 @@ import (
 	"fbf/internal/core"
 	"fbf/internal/disk"
 	"fbf/internal/grid"
+	"fbf/internal/obs"
 	"fbf/internal/sim"
 )
 
@@ -166,6 +167,9 @@ func (e *engine) onDiskFailure(col int) {
 	}
 	e.failedCols[col] = true
 	e.rePlans++
+	if e.tr != nil {
+		e.instant(engineLane, obs.CatFault, "re-plan", obs.Arg{Key: "disk", Val: int64(col)})
+	}
 	for _, w := range e.workers {
 		if w.scheme != nil {
 			w.regen = true
@@ -176,6 +180,9 @@ func (e *engine) onDiskFailure(col int) {
 // loseChunk accounts one chunk as unrecoverable.
 func (e *engine) loseChunk(id cache.ChunkID) {
 	e.lostChunks = append(e.lostChunks, id)
+	if e.tr != nil {
+		e.instant(engineLane, obs.CatFault, "data-loss", coordArgs(id)...)
+	}
 }
 
 // escalate promotes a fetch chunk to lost after an unrecoverable read
@@ -184,6 +191,9 @@ func (e *engine) loseChunk(id cache.ChunkID) {
 func (w *worker) escalate(cell grid.Coord, id cache.ChunkID) {
 	e := w.engine
 	e.escalations++
+	if e.tr != nil {
+		e.instant(w.lane(), obs.CatFault, "escalate", coordArgs(id)...)
+	}
 	if w.escalSet == nil {
 		w.escalSet = make(map[grid.Coord]bool)
 	}
@@ -232,6 +242,12 @@ func (w *worker) issueFetch(stripe int, cell grid.Coord, id cache.ChunkID, attem
 		case disk.FaultTransient:
 			if attempt+1 < e.faults.RetryMax {
 				e.retries++
+				if e.tr != nil {
+					e.instant(w.lane(), obs.CatFault, "retry",
+						obs.Arg{Key: "row", Val: int64(cell.Row)},
+						obs.Arg{Key: "col", Val: int64(cell.Col)},
+						obs.Arg{Key: "attempt", Val: int64(attempt + 1)})
+				}
 				e.sim.Schedule(w.backoff(attempt), func() {
 					w.issueFetch(stripe, cell, id, attempt+1, done)
 				})
@@ -371,6 +387,12 @@ func (w *worker) regenerate() {
 	}
 	for _, c := range lost {
 		e.loseChunk(cache.ChunkID{Stripe: group.Stripe, Cell: c})
+	}
+	if e.tr != nil {
+		e.instant(w.lane(), obs.CatFault, "regenerate",
+			obs.Arg{Key: "stripe", Val: int64(group.Stripe)},
+			obs.Arg{Key: "repair", Val: int64(len(repair))},
+			obs.Arg{Key: "lost", Val: int64(len(lost))})
 	}
 	w.installScheme(scheme, wall)
 }

@@ -24,6 +24,7 @@ import (
 	"fbf/internal/core"
 	"fbf/internal/disk"
 	"fbf/internal/grid"
+	"fbf/internal/obs"
 	"fbf/internal/sim"
 	"fbf/internal/stats"
 )
@@ -89,6 +90,28 @@ type Config struct {
 	// With Faults nil the fault machinery is fully disabled and every
 	// metric is bit-identical to a build without it.
 	Faults *FaultConfig
+
+	// Tracer, when non-nil, receives the run's event stream: error-group
+	// and chunk-repair spans, scheme-generation charges, cache
+	// hit/miss/evict/demote instants, per-disk io spans and queue
+	// counters, XOR spans and fault-ladder instants — all stamped in
+	// simulated time, so a trace is bit-identical across hosts and
+	// sweep parallelism (except under ChargeSchemeGen, which folds wall
+	// time into the clock). Nil keeps every instrumentation site behind
+	// a single branch with zero allocations.
+	Tracer obs.Tracer
+
+	// Metrics, when non-nil, registers the run's time-series gauges
+	// (cache counters, per-disk in-flight I/O, FBF queue occupancy,
+	// fault counters) plus a response-time histogram on the registry and
+	// samples them every MetricsInterval of simulated time. A Registry
+	// belongs to exactly one run: registration is ordered and re-use
+	// would panic on duplicate names.
+	Metrics *obs.Registry
+
+	// MetricsInterval is the simulated sampling period for Metrics.
+	// Zero selects the 10 ms default.
+	MetricsInterval sim.Time
 }
 
 // AppWorkload parameterizes the foreground read stream of an online
@@ -149,6 +172,12 @@ func (c *Config) Validate() error {
 	}
 	if c.CacheAccess < 0 || c.XORPerChunk < 0 {
 		return fmt.Errorf("rebuild: negative timing parameter")
+	}
+	if c.MetricsInterval < 0 {
+		return &ConfigError{Field: "MetricsInterval", Reason: fmt.Sprintf("negative sampling interval %v", c.MetricsInterval)}
+	}
+	if c.MetricsInterval > 0 && c.Metrics == nil {
+		return &ConfigError{Field: "MetricsInterval", Reason: "set without a Metrics registry"}
 	}
 	if c.VerifyData {
 		if _, ok := c.Code.(core.Rebuilder); !ok {
@@ -334,8 +363,8 @@ func Run(cfg Config, errors []core.PartialStripeError) (*Result, error) {
 		}
 	}
 	if cfg.Mode == ModeDOR {
-		if cfg.App != nil || cfg.VerifyData || len(cfg.ResponseHistogramMs) > 0 || cfg.ErrorInterarrival > 0 || cfg.Faults != nil {
-			return nil, fmt.Errorf("rebuild: DOR mode does not support App, VerifyData, response histograms, staggered error arrival or fault injection")
+		if cfg.App != nil || cfg.VerifyData || len(cfg.ResponseHistogramMs) > 0 || cfg.ErrorInterarrival > 0 || cfg.Faults != nil || cfg.Tracer != nil || cfg.Metrics != nil {
+			return nil, fmt.Errorf("rebuild: DOR mode does not support App, VerifyData, response histograms, staggered error arrival, fault injection or observability")
 		}
 		return runDOR(cfg, errors)
 	}
@@ -353,6 +382,7 @@ func Run(cfg Config, errors []core.PartialStripeError) (*Result, error) {
 		ChunkSize: cfg.ChunkSize,
 		ModelFor:  cfg.ModelFor,
 		Scheduler: cfg.Scheduler,
+		Tracer:    cfg.Tracer,
 	}
 	var failAt map[int]sim.Time
 	if faults != nil {
@@ -363,7 +393,7 @@ func Run(cfg Config, errors []core.PartialStripeError) (*Result, error) {
 		return nil, err
 	}
 
-	e := &engine{cfg: cfg, sim: s, array: array, groups: errors, stripeOwner: make(map[int]int)}
+	e := &engine{cfg: cfg, sim: s, array: array, groups: errors, stripeOwner: make(map[int]int), tr: cfg.Tracer}
 	if faults != nil {
 		e.faults = faults
 		e.failedCols = make(map[int]bool)
@@ -401,6 +431,15 @@ func Run(cfg Config, errors []core.PartialStripeError) (*Result, error) {
 	}
 	if cfg.App != nil && len(e.workers) > 0 {
 		e.scheduleAppWorkload()
+	}
+	if cfg.Metrics != nil {
+		e.registerMetrics(cfg.Metrics)
+		interval := cfg.MetricsInterval
+		if interval <= 0 {
+			interval = 10 * sim.Millisecond
+		}
+		cfg.Metrics.Sample(0)
+		s.Tick(interval, func(now sim.Time) { cfg.Metrics.Sample(now) })
 	}
 	s.Run()
 	if e.verifyErr != nil {
@@ -477,6 +516,11 @@ type engine struct {
 	verifyErr      error
 	respHist       *stats.Histogram
 
+	// Observability (nil unless Config.Tracer / Config.Metrics was set).
+	tr          obs.Tracer
+	obsRespHist *stats.Histogram // "response_ms" metric histogram
+	groupsDone  int
+
 	// Fault-injection state (nil / zero unless Config.Faults was set).
 	faults       *FaultConfig // defaulted copy
 	failedCols   map[int]bool // columns of dead disks
@@ -507,6 +551,9 @@ func (e *engine) recordResponse(t sim.Time) {
 	if e.respHist != nil {
 		e.respHist.Add(t.Milliseconds())
 	}
+	if e.obsRespHist != nil {
+		e.obsRespHist.Add(t.Milliseconds())
+	}
 }
 
 // worker repairs one error group at a time (stripe-oriented
@@ -526,6 +573,13 @@ type worker struct {
 	escalSet  map[grid.Coord]bool
 	aborted   bool // current chain hit an escalation; regenerate at the barrier
 	regen     bool // a disk failed since the scheme was generated; re-plan
+
+	// Trace state (Config.Tracer only; see obs.go).
+	obsGroupStart sim.Time
+	obsChainStart sim.Time
+	obsChainLost  cache.ChunkID
+	obsChainFetch int
+	obsChainOpen  bool
 }
 
 // scheduleAppWorkload arms the foreground read stream: requests arrive
@@ -564,9 +618,15 @@ func (e *engine) scheduleAppWorkload() {
 			if owner.cache.Request(id) {
 				e.appHits++
 				e.appSumResponse += e.cfg.CacheAccess
+				if e.tr != nil {
+					e.instant(engineLane, obs.CatApp, "app-hit", coordArgs(id)...)
+				}
 				return
 			}
 			e.appMisses++
+			if e.tr != nil {
+				e.instant(engineLane, obs.CatApp, "app-miss", coordArgs(id)...)
+			}
 			err := e.array.ReadChunk(stripe, cell, func(issued, completed sim.Time) {
 				e.appSumResponse += e.cfg.CacheAccess + (completed - issued)
 			})
@@ -635,6 +695,9 @@ func (w *worker) nextGroup() {
 	group := e.groups[e.next]
 	e.next++
 	e.stripeOwner[group.Stripe] = w.id
+	if e.tr != nil {
+		w.obsGroupStart = e.sim.Now()
+	}
 	if e.cfg.VerifyData {
 		w.stripe = w.materializeStripe(group.Stripe)
 	}
@@ -682,8 +745,15 @@ func (w *worker) installScheme(scheme *core.Scheme, wall time.Duration) {
 		fa.SetFuture(scheme.RequestIDs())
 	}
 	if e.cfg.ChargeSchemeGen {
-		e.sim.Schedule(sim.Time(wall.Nanoseconds()), w.startChain)
+		charge := sim.Time(wall.Nanoseconds())
+		if e.tr != nil {
+			w.traceSchemeGen(scheme.Err.Stripe, len(scheme.Selected), charge)
+		}
+		e.sim.Schedule(charge, w.startChain)
 		return
+	}
+	if e.tr != nil {
+		w.traceSchemeGen(scheme.Err.Stripe, len(scheme.Selected), 0)
 	}
 	w.startChain()
 }
@@ -694,10 +764,22 @@ func (w *worker) installScheme(scheme *core.Scheme, wall time.Duration) {
 func (w *worker) startChain() {
 	e := w.engine
 	if w.aborted || w.regen {
+		if e.tr != nil {
+			w.closeChain(true)
+		}
 		w.regenerate()
 		return
 	}
+	if e.tr != nil {
+		// The previous chain (if any) ran to completion; its span ends at
+		// the spare-write completion that re-entered us.
+		w.closeChain(false)
+	}
 	if w.chainIdx >= len(w.scheme.Selected) {
+		e.groupsDone++
+		if e.tr != nil {
+			w.closeGroup(w.scheme.Err.Stripe, len(w.scheme.Selected))
+		}
 		w.scheme = nil
 		w.stripe = nil
 		w.recovered, w.escalated, w.escalSet = nil, nil, nil
@@ -707,6 +789,9 @@ func (w *worker) startChain() {
 	sel := w.scheme.Selected[w.chainIdx]
 	w.chainIdx++
 	stripe := w.scheme.Err.Stripe
+	if e.tr != nil {
+		w.openChain(cache.ChunkID{Stripe: stripe, Cell: sel.Lost}, len(sel.Fetch))
+	}
 
 	outstanding := 1 // the lookup phase itself
 	var barrier func()
@@ -720,6 +805,9 @@ func (w *worker) startChain() {
 		if w.aborted || w.regen {
 			// The chain's fetches are incomplete (escalated chunk or dead
 			// disk); its XOR would be garbage. Re-plan instead.
+			if e.tr != nil {
+				w.closeChain(true)
+			}
 			w.regenerate()
 			return
 		}
@@ -730,6 +818,11 @@ func (w *worker) startChain() {
 			w.verifyChain(sel)
 		}
 		xor := e.cfg.XORPerChunk * sim.Time(len(sel.Fetch))
+		if e.tr != nil {
+			e.tr.Emit(obs.Event{Name: "xor", Cat: obs.CatXOR, Ph: obs.PhaseSpan,
+				Track: w.lane(), TS: e.sim.Now(), Dur: xor,
+				Args: []obs.Arg{{Key: "chunks", Val: int64(len(sel.Fetch))}}})
+		}
 		e.sim.Schedule(xor, func() {
 			if e.cfg.SkipSpareWrites {
 				w.startChain()
@@ -746,7 +839,12 @@ func (w *worker) startChain() {
 	for i, cell := range sel.Fetch {
 		e.totalRequests++
 		id := cache.ChunkID{Stripe: stripe, Cell: cell}
-		hit := w.cache.Request(id)
+		var hit bool
+		if e.tr != nil {
+			hit = w.tracedRequest(id)
+		} else {
+			hit = w.cache.Request(id)
+		}
 		lookupDone := now + sim.Time(i+1)*e.cfg.CacheAccess
 		if hit {
 			e.recHits++

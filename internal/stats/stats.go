@@ -104,6 +104,35 @@ func (h *Histogram) Add(x float64) {
 // Total returns the observation count.
 func (h *Histogram) Total() uint64 { return h.total }
 
+// Bounds returns a copy of the bucket boundaries.
+func (h *Histogram) Bounds() []float64 {
+	out := make([]float64, len(h.bounds))
+	copy(out, h.bounds)
+	return out
+}
+
+// Merge folds other's counts into h. The two histograms must share
+// identical bucket boundaries (merging differently bucketed histograms
+// has no well-defined result).
+func (h *Histogram) Merge(other *Histogram) error {
+	if other == nil {
+		return nil
+	}
+	if len(other.bounds) != len(h.bounds) {
+		return fmt.Errorf("stats: merge of mismatched histograms (%d vs %d bounds)", len(h.bounds), len(other.bounds))
+	}
+	for i, b := range h.bounds {
+		if other.bounds[i] != b {
+			return fmt.Errorf("stats: merge of mismatched histograms (bound %d: %g vs %g)", i, b, other.bounds[i])
+		}
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.total += other.total
+	return nil
+}
+
 // Counts returns a copy of the bucket counts (len(bounds)+1 entries; the
 // last is the overflow bucket).
 func (h *Histogram) Counts() []uint64 {
@@ -112,11 +141,18 @@ func (h *Histogram) Counts() []uint64 {
 	return out
 }
 
-// Quantile returns an upper bound for the q-quantile (0 < q <= 1) based
-// on bucket boundaries; the overflow bucket reports +Inf.
+// Quantile returns an upper bound for the q-quantile based on bucket
+// boundaries; the overflow bucket reports +Inf. q is clamped to [0, 1]
+// (NaN included): q <= 0 reports the first non-empty bucket's bound and
+// q >= 1 the last non-empty bucket's. With no observations it returns 0.
 func (h *Histogram) Quantile(q float64) float64 {
 	if h.total == 0 {
 		return 0
+	}
+	if !(q > 0) { // also catches NaN
+		q = 0
+	} else if q > 1 {
+		q = 1
 	}
 	target := uint64(math.Ceil(q * float64(h.total)))
 	if target == 0 {
@@ -135,8 +171,12 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return math.Inf(1)
 }
 
-// String renders the non-empty buckets.
+// String renders the non-empty buckets, or "empty" with no
+// observations (so log lines never silently print a blank).
 func (h *Histogram) String() string {
+	if h.total == 0 {
+		return "empty"
+	}
 	var sb strings.Builder
 	prev := math.Inf(-1)
 	for i, c := range h.counts {

@@ -127,3 +127,89 @@ func TestImprovementAndGain(t *testing.T) {
 		t.Errorf("Gain with zero baseline = %f", got)
 	}
 }
+
+func TestHistogramBounds(t *testing.T) {
+	h, _ := NewHistogram([]float64{1, 5})
+	b := h.Bounds()
+	if len(b) != 2 || b[0] != 1 || b[1] != 5 {
+		t.Fatalf("Bounds = %v", b)
+	}
+	b[0] = 99 // must be a copy
+	if h.Bounds()[0] != 1 {
+		t.Fatal("Bounds returned backing store")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, _ := NewHistogram([]float64{1, 5})
+	b, _ := NewHistogram([]float64{1, 5})
+	a.Add(0.5)
+	b.Add(3)
+	b.Add(100)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Total() != 3 {
+		t.Fatalf("merged total = %d", a.Total())
+	}
+	if got := a.Counts(); got[0] != 1 || got[1] != 1 || got[2] != 1 {
+		t.Fatalf("merged counts = %v", got)
+	}
+	// Merging nil is a no-op.
+	if err := a.Merge(nil); err != nil || a.Total() != 3 {
+		t.Fatalf("nil merge: err=%v total=%d", err, a.Total())
+	}
+	// Mismatched bounds are rejected, by count and by value.
+	c, _ := NewHistogram([]float64{1})
+	if err := a.Merge(c); err == nil {
+		t.Error("merge with fewer bounds accepted")
+	}
+	d, _ := NewHistogram([]float64{1, 6})
+	if err := a.Merge(d); err == nil {
+		t.Error("merge with different bounds accepted")
+	}
+}
+
+func TestHistogramStringEmpty(t *testing.T) {
+	h, _ := NewHistogram([]float64{1})
+	if got := h.String(); got != "empty" {
+		t.Fatalf("empty String() = %q", got)
+	}
+	h.Add(0.5)
+	if got := h.String(); got == "empty" || got == "" {
+		t.Fatalf("non-empty String() = %q", got)
+	}
+}
+
+func TestHistogramQuantileEdges(t *testing.T) {
+	h, _ := NewHistogram([]float64{1, 5, 10})
+	h.Add(0.5) // bucket (-inf,1]
+	h.Add(7)   // bucket (5,10]
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1},    // clamped: first non-empty bucket
+		{-3, 1},   // clamped below
+		{math.NaN(), 1},
+		{0.5, 1},
+		{1, 10},  // last non-empty bucket
+		{2, 10},  // clamped above
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	// Overflow bucket reports +Inf.
+	h.Add(50)
+	if got := h.Quantile(1); !math.IsInf(got, 1) {
+		t.Errorf("Quantile(1) with overflow = %v, want +Inf", got)
+	}
+	// Single-bucket histogram.
+	s, _ := NewHistogram([]float64{1})
+	s.Add(0.1)
+	if got := s.Quantile(0.5); got != 1 {
+		t.Errorf("single-bucket Quantile = %v", got)
+	}
+}
