@@ -77,6 +77,34 @@ func benchXOR(b *testing.B) {
 // BenchmarkXOR reports chunk-XOR throughput (MB/s).
 func BenchmarkXOR(b *testing.B) { benchXOR(b) }
 
+// xorKernelSizes sweeps the XOR kernel across its dispatch regimes:
+// below 256 bytes XORInto runs the unrolled scalar word loop, at and
+// above it routes through crypto/subtle's vectorized XORBytes.
+var xorKernelSizes = []int{64, 255, 256, 4 * 1024, 32 * 1024, 256 * 1024}
+
+// benchXORKernel measures one size point of the kernel sweep.
+func benchXORKernel(b *testing.B, size int) {
+	b.Helper()
+	acc := chunk.New(size)
+	src := chunk.New(size)
+	for i := range src {
+		src[i] = byte(i * 31)
+	}
+	b.SetBytes(int64(size))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		chunk.XORInto(acc, src)
+	}
+}
+
+// BenchmarkXORKernel reports kernel throughput per buffer size.
+func BenchmarkXORKernel(b *testing.B) {
+	for _, size := range xorKernelSizes {
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) { benchXORKernel(b, size) })
+	}
+}
+
 // benchSchemeGen measures one looped-scheme generation — the paper's
 // Table IV temporal overhead — for a mid-sized error.
 func benchSchemeGen(b *testing.B, codeName string) {
@@ -137,8 +165,10 @@ func TestWriteBenchJSON(t *testing.T) {
 			AllocsPerOp: r.AllocsPerOp(),
 			BytesPerOp:  r.AllocedBytesPerOp(),
 		}
-		if v, ok := r.Extra["MB/s"]; ok {
-			rec.MBPerSec = v
+		// BenchmarkResult keeps SetBytes throughput in r.Bytes, not in
+		// Extra (the old Extra["MB/s"] lookup always missed, recording 0).
+		if r.Bytes > 0 && r.T > 0 {
+			rec.MBPerSec = float64(r.Bytes) * float64(r.N) / 1e6 / r.T.Seconds()
 		}
 		metrics := map[string]float64{}
 		for k, v := range r.Extra {
@@ -160,6 +190,10 @@ func TestWriteBenchJSON(t *testing.T) {
 		}
 	}
 	add("XOR/32KB", benchXOR)
+	for _, size := range xorKernelSizes {
+		size := size
+		add(fmt.Sprintf("XORKernel/size=%d", size), func(b *testing.B) { benchXORKernel(b, size) })
+	}
 	for _, codeName := range fbf.CodeNames() {
 		codeName := codeName
 		add("SchemeGen/code="+codeName, func(b *testing.B) { benchSchemeGen(b, codeName) })

@@ -1,0 +1,123 @@
+// Command benchdiff compares two BENCH_rebuild.json files — a checked-in
+// baseline and a freshly measured run — and enforces the allocation
+// budget of the rebuild hot path: allocs/op and bytes/op may not regress
+// by more than a threshold (10% by default). Wall-clock ns/op varies
+// with host speed and is reported for context only, never enforced.
+//
+// Usage:
+//
+//	go test -run WriteBenchJSON -bench-json current.json .
+//	go run ./cmd/benchdiff -baseline BENCH_rebuild.json -current current.json
+//
+// Exit status 1 means at least one benchmark exceeded the threshold.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+type record struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	MBPerSec    float64 `json:"mb_per_s,omitempty"`
+}
+
+type doc struct {
+	Benchmarks []record `json:"benchmarks"`
+}
+
+func load(path string) (map[string]record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d doc
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]record, len(d.Benchmarks))
+	for _, r := range d.Benchmarks {
+		out[r.Name] = r
+	}
+	return out, nil
+}
+
+// pctChange returns the relative change from old to new in percent.
+// A zero old value with a non-zero new value counts as +Inf-like 1e9%.
+func pctChange(old, new int64) float64 {
+	if old == 0 {
+		if new == 0 {
+			return 0
+		}
+		return 1e9
+	}
+	return 100 * (float64(new) - float64(old)) / float64(old)
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_rebuild.json", "checked-in baseline file")
+	currentPath := flag.String("current", "", "freshly measured benchmark file (required)")
+	threshold := flag.Float64("threshold", 10, "max allowed allocs/op or bytes/op regression in percent")
+	flag.Parse()
+	if *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -current is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	baseline, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	current, err := load(*currentPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(current))
+	for name := range current {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failed := 0
+	for _, name := range names {
+		cur := current[name]
+		base, ok := baseline[name]
+		if !ok {
+			fmt.Printf("NEW   %-40s allocs=%d bytes=%d ns=%d (no baseline entry)\n",
+				name, cur.AllocsPerOp, cur.BytesPerOp, cur.NsPerOp)
+			continue
+		}
+		allocPct := pctChange(base.AllocsPerOp, cur.AllocsPerOp)
+		bytePct := pctChange(base.BytesPerOp, cur.BytesPerOp)
+		nsPct := pctChange(base.NsPerOp, cur.NsPerOp)
+		status := "ok"
+		if allocPct > *threshold || bytePct > *threshold {
+			status = "FAIL"
+			failed++
+		}
+		fmt.Printf("%-5s %-40s allocs %d -> %d (%+.1f%%)  bytes %d -> %d (%+.1f%%)  ns %+.1f%% (advisory)\n",
+			status, name, base.AllocsPerOp, cur.AllocsPerOp, allocPct,
+			base.BytesPerOp, cur.BytesPerOp, bytePct, nsPct)
+	}
+	for name := range baseline {
+		if _, ok := current[name]; !ok {
+			fmt.Printf("GONE  %-40s present in baseline only\n", name)
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) regressed beyond %.0f%% on allocs/op or bytes/op\n", failed, *threshold)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: %d benchmarks within the %.0f%% allocation budget\n", len(names), *threshold)
+}

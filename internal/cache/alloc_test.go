@@ -1,0 +1,26 @@
+package cache
+
+import "testing"
+
+// TestLRUSteadyStateAllocs pins the freelist behaviour of the LRU
+// policy: once the cache is at capacity, a miss evicts one entry and
+// inserts another by recycling the evicted list node, so the
+// miss-evict-insert cycle — the rebuild hot path's dominant cache
+// operation — allocates nothing.
+func TestLRUSteadyStateAllocs(t *testing.T) {
+	const capacity = 64
+	l := NewLRU(capacity)
+	// Warm to capacity and let the map grow to its final size.
+	for i := 0; i < 4*capacity; i++ {
+		l.Request(ChunkID{Stripe: i})
+	}
+	next := 4 * capacity
+	allocs := testing.AllocsPerRun(1000, func() {
+		l.Request(ChunkID{Stripe: next}) // miss: evict + insert
+		next++
+		l.Request(ChunkID{Stripe: next - 1}) // hit: move to back
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state LRU request cycle allocates %v objects, want 0", allocs)
+	}
+}

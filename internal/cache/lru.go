@@ -8,6 +8,10 @@ type LRU struct {
 	stats    Stats
 	queue    ds.List[ChunkID] // front = LRU, back = MRU
 	index    map[ChunkID]*ds.Node[ChunkID]
+
+	// free recycles evicted/invalidated nodes so a full cache churns
+	// through misses without allocating.
+	free []*ds.Node[ChunkID]
 }
 
 // NewLRU returns an LRU cache holding up to capacity chunks.
@@ -42,11 +46,22 @@ func (l *LRU) Request(id ChunkID) bool {
 		return false
 	}
 	if l.queue.Len() >= l.capacity {
-		victim := l.queue.PopFront()
-		delete(l.index, victim)
+		victim := l.queue.Front()
+		l.queue.Remove(victim)
+		delete(l.index, victim.Val)
+		l.free = append(l.free, victim)
 		l.stats.Evictions++
 	}
-	l.index[id] = l.queue.PushBack(id)
+	var n *ds.Node[ChunkID]
+	if k := len(l.free); k > 0 {
+		n = l.free[k-1]
+		l.free = l.free[:k-1]
+	} else {
+		n = &ds.Node[ChunkID]{}
+	}
+	n.Val = id
+	l.queue.PushBackNode(n)
+	l.index[id] = n
 	return false
 }
 
@@ -58,6 +73,7 @@ func (l *LRU) Invalidate(id ChunkID) bool {
 	}
 	l.queue.Remove(n)
 	delete(l.index, id)
+	l.free = append(l.free, n)
 	return true
 }
 

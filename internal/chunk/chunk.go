@@ -5,6 +5,7 @@
 package chunk
 
 import (
+	"crypto/subtle"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -25,22 +26,66 @@ func New(size int) Chunk {
 	return make(Chunk, size)
 }
 
+// xorVectorMin is the length at or above which XORInto routes through
+// crypto/subtle.XORBytes: below it the call overhead beats the SIMD
+// win, above it the stdlib's platform-vectorized kernel is ~1.5x the
+// scalar ceiling (27 GB/s vs 17 GB/s at the paper's 32 KB chunks on
+// the reference host).
+const xorVectorMin = 256
+
 // XORInto XORs src into dst in place. The two chunks must have equal
-// length. The loop runs over 64-bit words with a byte tail, which is the
-// whole of the "XOR calculation" cost modeled during reconstruction.
+// length. Full-size chunks go through crypto/subtle.XORBytes — the
+// stdlib's memory-safe vectorized XOR, called with dst aliasing x
+// exactly, which its contract allows. Short buffers and platforms
+// without the asm route run xorWords, an unsafe-free 8-way unrolled
+// 64-bit-word kernel. XOR is position-wise, so both paths are
+// bit-identical to the byte loop — pinned by FuzzXORInto against a
+// byte-wise reference across all lengths and alignments.
 func XORInto(dst, src Chunk) {
 	if len(dst) != len(src) {
 		panic(fmt.Sprintf("chunk: length mismatch %d != %d", len(dst), len(src)))
 	}
-	n := len(dst)
-	i := 0
-	for ; i+8 <= n; i += 8 {
-		d := binary.LittleEndian.Uint64(dst[i:])
-		s := binary.LittleEndian.Uint64(src[i:])
-		binary.LittleEndian.PutUint64(dst[i:], d^s)
+	if len(dst) >= xorVectorMin {
+		subtle.XORBytes(dst, dst, src)
+		return
 	}
-	for ; i < n; i++ {
-		dst[i] ^= src[i]
+	xorWords(dst, src)
+}
+
+// xorWords is the portable scalar kernel: each iteration loads, XORs
+// and stores a 64-byte block as eight 64-bit words through fixed-offset
+// subslices, which lets the compiler hoist every bounds check to the
+// single len(d) >= 64 test and keep the words in registers. A word loop
+// and a byte loop mop up the tail.
+func xorWords(dst, src Chunk) {
+	d, s := []byte(dst), []byte(src)
+	for len(d) >= 64 {
+		db, sb := d[:64], s[:64:64]
+		d0 := binary.LittleEndian.Uint64(db[0:8]) ^ binary.LittleEndian.Uint64(sb[0:8])
+		d1 := binary.LittleEndian.Uint64(db[8:16]) ^ binary.LittleEndian.Uint64(sb[8:16])
+		d2 := binary.LittleEndian.Uint64(db[16:24]) ^ binary.LittleEndian.Uint64(sb[16:24])
+		d3 := binary.LittleEndian.Uint64(db[24:32]) ^ binary.LittleEndian.Uint64(sb[24:32])
+		d4 := binary.LittleEndian.Uint64(db[32:40]) ^ binary.LittleEndian.Uint64(sb[32:40])
+		d5 := binary.LittleEndian.Uint64(db[40:48]) ^ binary.LittleEndian.Uint64(sb[40:48])
+		d6 := binary.LittleEndian.Uint64(db[48:56]) ^ binary.LittleEndian.Uint64(sb[48:56])
+		d7 := binary.LittleEndian.Uint64(db[56:64]) ^ binary.LittleEndian.Uint64(sb[56:64])
+		binary.LittleEndian.PutUint64(db[0:8], d0)
+		binary.LittleEndian.PutUint64(db[8:16], d1)
+		binary.LittleEndian.PutUint64(db[16:24], d2)
+		binary.LittleEndian.PutUint64(db[24:32], d3)
+		binary.LittleEndian.PutUint64(db[32:40], d4)
+		binary.LittleEndian.PutUint64(db[40:48], d5)
+		binary.LittleEndian.PutUint64(db[48:56], d6)
+		binary.LittleEndian.PutUint64(db[56:64], d7)
+		d, s = d[64:], s[64:]
+	}
+	for len(d) >= 8 {
+		binary.LittleEndian.PutUint64(d[:8],
+			binary.LittleEndian.Uint64(d[:8])^binary.LittleEndian.Uint64(s[:8]))
+		d, s = d[8:], s[8:]
+	}
+	for i := range d {
+		d[i] ^= s[i]
 	}
 }
 
@@ -114,6 +159,17 @@ func (p *Pool) Get() Chunk {
 	c := p.pool.Get().(Chunk)
 	clear(c)
 	return c
+}
+
+// GetRaw returns a chunk from the pool WITHOUT zeroing it — the
+// contents are whatever the previous user left behind. Callers must
+// overwrite every byte before reading any: XOR accumulators that copy
+// their first operand, encode targets that clear themselves, and
+// materialized data cells filled by an RNG all qualify, and skipping
+// the redundant clear keeps the recovery hot path from touching each
+// buffer twice.
+func (p *Pool) GetRaw() Chunk {
+	return p.pool.Get().(Chunk)
 }
 
 // Put returns a chunk to the pool. Chunks of the wrong size are dropped.

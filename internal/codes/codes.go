@@ -128,10 +128,14 @@ func (c *Code) Encode(s Stripe) {
 
 // Verify reports whether every parity chain of the stripe XORs to zero.
 func (c *Code) Verify(s Stripe) bool {
+	acc := chunk.New(len(s[0])) // reused across chains: copy-first, XOR rest
 	for i := range c.layout.Chains() {
 		ch := &c.layout.Chains()[i]
-		acc := chunk.New(len(s[0]))
-		for _, cell := range ch.Cells {
+		for j, cell := range ch.Cells {
+			if j == 0 {
+				copy(acc, s[c.CellIndex(cell)])
+				continue
+			}
 			chunk.XORInto(acc, s[c.CellIndex(cell)])
 		}
 		if !acc.IsZero() {
@@ -328,30 +332,56 @@ func (c *Code) MaxPartialSize() int { return c.p - 1 }
 // engine's data-verification interface (core.Rebuilder).
 func (c *Code) MaterializeStripe(seed int64, chunkSize int) []chunk.Chunk {
 	s := c.NewStripe(chunkSize)
+	c.MaterializeStripeInto(s, seed)
+	return s
+}
+
+// MaterializeStripeInto implements core.RebuilderInto: dst may come
+// from a pool un-zeroed — the RNG overwrites every data byte and Encode
+// overwrites every parity byte.
+func (c *Code) MaterializeStripeInto(dst []chunk.Chunk, seed int64) {
 	rng := rand.New(rand.NewSource(seed))
 	for _, cell := range c.layout.DataCells() {
-		rng.Read(s[c.CellIndex(cell)])
+		rng.Read(dst[c.CellIndex(cell)])
 	}
-	c.Encode(s)
-	return s
+	c.Encode(dst)
 }
 
 // RebuildChunk recomputes the lost cell by XOR-ing the chain's other
 // members, implementing core.Rebuilder.
 func (c *Code) RebuildChunk(id grid.ChainID, lost grid.Coord, stripe []chunk.Chunk) (chunk.Chunk, error) {
+	acc := chunk.New(len(stripe[0]))
+	if err := c.RebuildChunkInto(acc, id, lost, stripe); err != nil {
+		return nil, err
+	}
+	return acc, nil
+}
+
+// RebuildChunkInto implements core.RebuilderInto: the first surviving
+// member is copied and the rest XORed in, so dst may come from a pool
+// un-zeroed.
+func (c *Code) RebuildChunkInto(dst chunk.Chunk, id grid.ChainID, lost grid.Coord, stripe []chunk.Chunk) error {
 	ch, ok := c.layout.Chain(id)
 	if !ok {
-		return nil, fmt.Errorf("codes: %v has no chain %v", c, id)
+		return fmt.Errorf("codes: %v has no chain %v", c, id)
 	}
 	if !ch.Contains(lost) {
-		return nil, fmt.Errorf("codes: chain %v does not contain %v", id, lost)
+		return fmt.Errorf("codes: chain %v does not contain %v", id, lost)
 	}
-	acc := chunk.New(len(stripe[0]))
+	first := true
 	for _, m := range ch.Cells {
 		if m == lost {
 			continue
 		}
-		chunk.XORInto(acc, stripe[c.CellIndex(m)])
+		if first {
+			copy(dst, stripe[c.CellIndex(m)])
+			first = false
+			continue
+		}
+		chunk.XORInto(dst, stripe[c.CellIndex(m)])
 	}
-	return acc, nil
+	if first {
+		clear(dst)
+	}
+	return nil
 }

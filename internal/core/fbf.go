@@ -27,6 +27,10 @@ type FBF struct {
 	priorities map[cache.ChunkID]int
 	queues     [3]ds.List[cache.ChunkID] // [0] = Queue1 ... [2] = Queue3
 	index      map[cache.ChunkID]*fbfEntry
+
+	// free recycles evicted/invalidated entries together with their list
+	// nodes, so a full cache churns through misses without allocating.
+	free []*fbfEntry
 }
 
 type fbfEntry struct {
@@ -93,7 +97,7 @@ func (f *FBF) Request(id cache.ChunkID) bool {
 		case 2, 1: // Queue3 → Queue2, Queue2 → Queue1: demote.
 			f.queues[e.queue].Remove(e.node)
 			e.queue--
-			e.node = f.queues[e.queue].PushBack(id)
+			f.queues[e.queue].PushBackNode(e.node)
 		default: // Queue1: refresh recency (PushToEnd).
 			f.queues[0].MoveToBack(e.node)
 		}
@@ -107,7 +111,17 @@ func (f *FBF) Request(id cache.ChunkID) bool {
 		f.evict()
 	}
 	q := f.priorityOf(id) - 1
-	f.index[id] = &fbfEntry{queue: q, node: f.queues[q].PushBack(id)}
+	var e *fbfEntry
+	if k := len(f.free); k > 0 {
+		e = f.free[k-1]
+		f.free = f.free[:k-1]
+	} else {
+		e = &fbfEntry{node: &ds.Node[cache.ChunkID]{}}
+	}
+	e.queue = q
+	e.node.Val = id
+	f.queues[q].PushBackNode(e.node)
+	f.index[id] = e
 	return false
 }
 
@@ -115,9 +129,11 @@ func (f *FBF) Request(id cache.ChunkID) bool {
 // within each queue.
 func (f *FBF) evict() {
 	for q := 0; q < 3; q++ {
-		if f.queues[q].Len() > 0 {
-			victim := f.queues[q].PopFront()
-			delete(f.index, victim)
+		if n := f.queues[q].Front(); n != nil {
+			f.queues[q].Remove(n)
+			e := f.index[n.Val]
+			delete(f.index, n.Val)
+			f.free = append(f.free, e)
 			f.stats.Evictions++
 			return
 		}
@@ -132,6 +148,7 @@ func (f *FBF) Invalidate(id cache.ChunkID) bool {
 	}
 	f.queues[e.queue].Remove(e.node)
 	delete(f.index, id)
+	f.free = append(f.free, e)
 	return true
 }
 

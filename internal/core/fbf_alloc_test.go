@@ -1,0 +1,29 @@
+package core
+
+import (
+	"testing"
+
+	"fbf/internal/cache"
+)
+
+// TestFBFSteadyStateAllocs pins the entry freelist: at capacity, every
+// miss evicts one chunk and inserts another by recycling the evicted
+// entry and its intrusive list node, and hits demote or refresh by
+// relinking nodes in place — so the request cycle the rebuild engine
+// replays millions of times allocates nothing.
+func TestFBFSteadyStateAllocs(t *testing.T) {
+	const capacity = 64
+	f := NewFBF(capacity)
+	for i := 0; i < 4*capacity; i++ {
+		f.Request(cache.ChunkID{Stripe: i})
+	}
+	next := 4 * capacity
+	allocs := testing.AllocsPerRun(1000, func() {
+		f.Request(cache.ChunkID{Stripe: next}) // miss: evict + recycled insert
+		next++
+		f.Request(cache.ChunkID{Stripe: next - 1}) // hit: Queue1 recency refresh
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state FBF request cycle allocates %v objects, want 0", allocs)
+	}
+}

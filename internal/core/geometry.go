@@ -37,6 +37,21 @@ type Rebuilder interface {
 	RebuildChunk(chain grid.ChainID, lost grid.Coord, stripe []chunk.Chunk) (chunk.Chunk, error)
 }
 
+// RebuilderInto is an optional extension of Rebuilder for callers that
+// recycle chunk buffers through a chunk.Pool: the Into variants write
+// into caller-provided buffers instead of allocating fresh ones. The
+// destination buffers may hold garbage on entry (chunk.Pool.GetRaw) —
+// implementations overwrite every byte.
+type RebuilderInto interface {
+	Rebuilder
+	// MaterializeStripeInto fills dst — Layout().Cells() chunks of one
+	// size — with the stripe MaterializeStripe(seed, size) would return.
+	MaterializeStripeInto(dst []chunk.Chunk, seed int64)
+	// RebuildChunkInto recomputes the lost cell from the chain's other
+	// members into dst.
+	RebuildChunkInto(dst chunk.Chunk, chain grid.ChainID, lost grid.Coord, stripe []chunk.Chunk) error
+}
+
 // CellIndex is the row-major stripe index convention shared by
 // Rebuilder implementations and the engine.
 func CellIndex(layout *grid.Layout, c grid.Coord) int {

@@ -108,19 +108,41 @@ func (a *Array) ReadChunk(stripe int, cell grid.Coord, done func(issued, complet
 	return nil
 }
 
+// ReadChunkReq submits a read of (stripe, cell) through a caller-owned
+// Request. r.Done must already be set; Addr/Size/Write are filled here
+// and the outcome fields are reset on submission, so one Request object
+// (typically embedded in a pooled operation with a prebound Done) can
+// be reused across any number of reads without allocating.
+func (a *Array) ReadChunkReq(stripe int, cell grid.Coord, r *Request) error {
+	if err := a.check(stripe, cell); err != nil {
+		return err
+	}
+	r.Addr = a.chunkAddr(stripe, cell.Row)
+	r.Size = a.chunkSize
+	r.Write = false
+	a.disks[cell.Col].Submit(r)
+	return nil
+}
+
 // ReadChunkEx is ReadChunk with the fault-aware completion signature:
 // done receives the request itself, so callers can inspect
 // Request.Failed/Fault and react (retry, escalate, re-plan).
 func (a *Array) ReadChunkEx(stripe int, cell grid.Coord, done func(r *Request, issued, completed sim.Time)) error {
-	if err := a.check(stripe, cell); err != nil {
-		return err
-	}
-	r := &Request{
-		Addr: a.chunkAddr(stripe, cell.Row),
-		Size: a.chunkSize,
-	}
+	r := &Request{}
 	r.Done = func(issued, completed sim.Time) { done(r, issued, completed) }
-	a.disks[cell.Col].Submit(r)
+	return a.ReadChunkReq(stripe, cell, r)
+}
+
+// ReadAddrReq reads an arbitrary per-disk chunk address through a
+// caller-owned Request; the same reuse contract as ReadChunkReq.
+func (a *Array) ReadAddrReq(diskID int, addr int64, r *Request) error {
+	if diskID < 0 || diskID >= len(a.disks) {
+		return fmt.Errorf("disk: read from invalid disk %d", diskID)
+	}
+	r.Addr = addr
+	r.Size = a.chunkSize
+	r.Write = false
+	a.disks[diskID].Submit(r)
 	return nil
 }
 
@@ -128,13 +150,9 @@ func (a *Array) ReadChunkEx(stripe int, cell grid.Coord, done func(r *Request, i
 // checkpointed chunks from a spare region) with the fault-aware
 // completion signature.
 func (a *Array) ReadAddrEx(diskID int, addr int64, done func(r *Request, issued, completed sim.Time)) error {
-	if diskID < 0 || diskID >= len(a.disks) {
-		return fmt.Errorf("disk: read from invalid disk %d", diskID)
-	}
-	r := &Request{Addr: addr, Size: a.chunkSize}
+	r := &Request{}
 	r.Done = func(issued, completed sim.Time) { done(r, issued, completed) }
-	a.disks[diskID].Submit(r)
-	return nil
+	return a.ReadAddrReq(diskID, addr, r)
 }
 
 // WriteSpare writes one recovered chunk into the spare region of the
@@ -170,22 +188,34 @@ func (a *Array) SpareTarget(diskID int) int {
 	return -1
 }
 
-// WriteSpareEx writes one recovered chunk into the spare region of the
-// given disk, failing over to SpareTarget when that disk is dead. It
-// returns the disk and spare address actually written (-1, -1 when no
-// disk survives — done is then never called) and reports the request to
-// done so the caller can observe mid-write disk failures.
-func (a *Array) WriteSpareEx(diskID int, done func(r *Request, issued, completed sim.Time)) (target int, addr int64) {
+// WriteSpareReq writes one recovered chunk into the spare region of the
+// given disk through a caller-owned Request, failing over to
+// SpareTarget when that disk is dead. Returns (-1, -1) when no disk
+// survives; r is then not submitted and r.Done never fires. The same
+// reuse contract as ReadChunkReq applies.
+func (a *Array) WriteSpareReq(diskID int, r *Request) (target int, addr int64) {
 	target = a.SpareTarget(diskID)
 	if target < 0 {
 		return -1, -1
 	}
 	addr = a.spareBase + a.spareAlloc[target]
 	a.spareAlloc[target]++
-	r := &Request{Addr: addr, Size: a.chunkSize, Write: true}
-	r.Done = func(issued, completed sim.Time) { done(r, issued, completed) }
+	r.Addr = addr
+	r.Size = a.chunkSize
+	r.Write = true
 	a.disks[target].Submit(r)
 	return target, addr
+}
+
+// WriteSpareEx writes one recovered chunk into the spare region of the
+// given disk, failing over to SpareTarget when that disk is dead. It
+// returns the disk and spare address actually written (-1, -1 when no
+// disk survives — done is then never called) and reports the request to
+// done so the caller can observe mid-write disk failures.
+func (a *Array) WriteSpareEx(diskID int, done func(r *Request, issued, completed sim.Time)) (target int, addr int64) {
+	r := &Request{}
+	r.Done = func(issued, completed sim.Time) { done(r, issued, completed) }
+	return a.WriteSpareReq(diskID, r)
 }
 
 // TotalStats sums the per-disk statistics.

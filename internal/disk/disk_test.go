@@ -228,3 +228,67 @@ func TestArrayContention(t *testing.T) {
 		t.Errorf("cross-disk completions %v", diffDisk)
 	}
 }
+
+// TestRequestReuse pins the reusable-Request contract: one Request
+// object cycles through reads and spare writes via the Req APIs, and
+// Submit resets the outcome fields each time.
+func TestRequestReuse(t *testing.T) {
+	s := sim.New()
+	a, err := NewArray(s, ArrayConfig{Disks: 2, Rows: 4, Stripes: 4, ChunkSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	completions := 0
+	r := &Request{}
+	r.Done = func(issued, completed sim.Time) {
+		completions++
+		if r.Failed {
+			t.Fatalf("completion %d unexpectedly failed", completions)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		r.Failed, r.Fault = true, FaultTransient // stale verdict must be reset
+		if err := a.ReadChunkReq(i, grid.Coord{Row: i, Col: 1}, r); err != nil {
+			t.Fatal(err)
+		}
+		s.Run()
+	}
+	if target, addr := a.WriteSpareReq(0, r); target != 0 || addr != 16 {
+		t.Fatalf("WriteSpareReq = (%d, %d), want (0, 16)", target, addr)
+	}
+	s.Run()
+	if err := a.ReadAddrReq(0, 16, r); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if completions != 5 {
+		t.Fatalf("completions = %d, want 5", completions)
+	}
+	st := a.Disk(1).Stats()
+	if st.Reads != 3 {
+		t.Fatalf("disk 1 reads = %d, want 3", st.Reads)
+	}
+}
+
+// TestDiskSteadyStateAllocs pins the disk layer's zero-allocation
+// contract: submitting and serving a request through a reused Request
+// allocates nothing once the queue slice has grown (the old completion
+// path closed over each request).
+func TestDiskSteadyStateAllocs(t *testing.T) {
+	s := sim.New()
+	d := NewDisk(0, s, PaperFixedLatency())
+	r := &Request{Size: 512}
+	r.Done = func(issued, completed sim.Time) {}
+	// Warm the queue and event-heap backing arrays.
+	for i := 0; i < 8; i++ {
+		d.Submit(r)
+		s.Run()
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		d.Submit(r)
+		s.Run()
+	})
+	if allocs != 0 {
+		t.Errorf("submit+serve allocates %.1f times per request, want 0", allocs)
+	}
+}

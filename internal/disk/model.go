@@ -99,23 +99,42 @@ func (m *Positional) ServiceTime(prevAddr, addr int64, sizeBytes int, _ bool) si
 	return seek + rotational + transfer
 }
 
-// Request is one disk I/O. Done fires at completion with the issue and
-// completion times; it runs inside the simulation loop. When a fault
-// plan injects a failure, Done still fires but Failed is set and Fault
-// carries the failure class — callers that ignore both see the legacy
+// Handler receives a request's completion without the closure
+// allocation a Done func costs: an operation object that embeds its
+// Request can set Handler to itself (a pointer-to-interface assignment
+// allocates nothing) and be reused across submissions.
+type Handler interface {
+	OnComplete(r *Request, issued, completed sim.Time)
+}
+
+// Request is one disk I/O. At completion exactly one of Handler or Done
+// fires (Handler wins when both are set) with the issue and completion
+// times; it runs inside the simulation loop. When a fault plan injects
+// a failure, completion still fires but Failed is set and Fault carries
+// the failure class — callers that ignore both see the legacy
 // always-succeeds behaviour.
 type Request struct {
-	Addr  int64 // chunk-granularity address
-	Size  int   // bytes
-	Write bool
-	Done  func(issued, completed sim.Time)
+	Addr    int64 // chunk-granularity address
+	Size    int   // bytes
+	Write   bool
+	Done    func(issued, completed sim.Time)
+	Handler Handler
 
 	// Failed reports that the request did not transfer data; Fault
-	// classifies why. Both are set before Done runs.
+	// classifies why. Both are set before completion fires.
 	Failed bool
 	Fault  FaultKind
 
 	issued sim.Time
+}
+
+// finish dispatches the completion to Handler or Done.
+func (r *Request) finish(issued, completed sim.Time) {
+	if r.Handler != nil {
+		r.Handler.OnComplete(r, issued, completed)
+		return
+	}
+	r.Done(issued, completed)
 }
 
 // Stats aggregates a disk's served I/O. Failed requests are counted in
@@ -179,6 +198,16 @@ type Disk struct {
 	// does no extra work.
 	tr    obs.Tracer
 	track obs.Track
+
+	// serving is the request in service; serviceStart stamps when its
+	// media operation began. A disk serves one request at a time, so
+	// completion is the prebound completeFn closure created once at
+	// construction — the old per-request completion closure was one
+	// allocation per I/O, millions per run.
+	serving      *Request
+	serviceStart sim.Time
+	serviceDur   sim.Time
+	completeFn   func()
 }
 
 // NewDisk creates a disk attached to the simulator with FIFO
@@ -187,7 +216,9 @@ func NewDisk(id int, s *sim.Simulator, model Model) *Disk {
 	if model == nil {
 		panic("disk: nil model")
 	}
-	return &Disk{id: id, sim: s, model: model, sweepUp: true}
+	d := &Disk{id: id, sim: s, model: model, sweepUp: true}
+	d.completeFn = d.completeServing
+	return d
 }
 
 // SetScheduler selects the queue discipline; safe only before traffic
@@ -347,15 +378,18 @@ func (d *Disk) failNow() {
 func (d *Disk) completeFailed(r *Request, kind FaultKind) {
 	r.Failed, r.Fault = true, kind
 	d.stats.Failed++
-	r.Done(r.issued, d.sim.Now())
+	r.finish(r.issued, d.sim.Now())
 }
 
 // Submit enqueues a request. Completion is signalled through r.Done.
 func (d *Disk) Submit(r *Request) {
-	if r == nil || r.Done == nil {
+	if r == nil || (r.Done == nil && r.Handler == nil) {
 		panic("disk: request without completion callback")
 	}
 	r.issued = d.sim.Now()
+	// Reset the outcome so callers can reuse one Request object across
+	// many submissions without leaking the previous verdict.
+	r.Failed, r.Fault = false, FaultNone
 	if d.failed {
 		// A dead disk fails submissions asynchronously so callers never
 		// see Done re-enter them mid-Submit.
@@ -396,54 +430,64 @@ func (d *Disk) startNext() {
 	service := d.model.ServiceTime(d.head, r.Addr, r.Size, r.Write)
 	d.stats.BusyTime += service
 	d.head = r.Addr
-	start := d.sim.Now()
 	if d.tr != nil {
 		d.traceQueue()
 	}
-	d.sim.Schedule(service, func() {
-		kind := FaultNone
-		if d.failed {
-			kind = FaultDiskFail
-		} else if d.plan != nil {
-			kind = d.plan.Outcome(r, d.sim.Now())
-			if f, ok := d.plan.(*Fault); ok {
-				if kind != FaultNone && f.Hook != nil {
-					f.Hook(r)
-				}
-				if d.sim.Now() >= f.Until {
-					d.plan = nil
-				}
+	d.serving = r
+	d.serviceStart = d.sim.Now()
+	d.serviceDur = service
+	d.sim.Schedule(service, d.completeFn)
+}
+
+// completeServing finishes the in-service request. It is the body of
+// the prebound completeFn; the request and its service window live in
+// fields rather than a per-request closure.
+func (d *Disk) completeServing() {
+	r := d.serving
+	start, service := d.serviceStart, d.serviceDur
+	d.serving = nil
+	kind := FaultNone
+	if d.failed {
+		kind = FaultDiskFail
+	} else if d.plan != nil {
+		kind = d.plan.Outcome(r, d.sim.Now())
+		if f, ok := d.plan.(*Fault); ok {
+			if kind != FaultNone && f.Hook != nil {
+				f.Hook(r)
+			}
+			if d.sim.Now() >= f.Until {
+				d.plan = nil
 			}
 		}
-		if kind != FaultNone {
-			r.Failed, r.Fault = true, kind
-			d.stats.Failed++
-		} else if r.Write {
-			d.stats.Writes++
-		} else {
-			d.stats.Reads++
+	}
+	if kind != FaultNone {
+		r.Failed, r.Fault = true, kind
+		d.stats.Failed++
+	} else if r.Write {
+		d.stats.Writes++
+	} else {
+		d.stats.Reads++
+	}
+	if d.tr != nil {
+		name := "read"
+		if r.Write {
+			name = "write"
 		}
-		if d.tr != nil {
-			name := "read"
-			if r.Write {
-				name = "write"
-			}
-			failed := int64(0)
-			if r.Failed {
-				failed = 1
-			}
-			d.tr.Emit(obs.Event{
-				Name: name, Cat: obs.CatIO, Ph: obs.PhaseSpan,
-				Track: d.track, TS: start, Dur: service,
-				Args: []obs.Arg{
-					{Key: "addr", Val: r.Addr},
-					{Key: "failed", Val: failed},
-					{Key: "fault", Val: int64(r.Fault)},
-				},
-			})
+		failed := int64(0)
+		if r.Failed {
+			failed = 1
 		}
-		done := d.sim.Now()
-		r.Done(r.issued, done)
-		d.startNext()
-	})
+		d.tr.Emit(obs.Event{
+			Name: name, Cat: obs.CatIO, Ph: obs.PhaseSpan,
+			Track: d.track, TS: start, Dur: service,
+			Args: []obs.Arg{
+				{Key: "addr", Val: r.Addr},
+				{Key: "failed", Val: failed},
+				{Key: "fault", Val: int64(r.Fault)},
+			},
+		})
+	}
+	done := d.sim.Now()
+	r.finish(r.issued, done)
+	d.startNext()
 }

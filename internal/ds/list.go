@@ -40,6 +40,21 @@ func (l *List[T]) PushBack(v T) *Node[T] {
 	return n
 }
 
+// PushBackNode links the caller-owned node n at the back. n must not be
+// a member of any list. Policies that move entries between queues (or
+// recycle evicted nodes) relink with this instead of paying a fresh
+// node allocation per PushBack.
+func (l *List[T]) PushBackNode(n *Node[T]) {
+	n.prev, n.next = l.tail, nil
+	if l.tail != nil {
+		l.tail.next = n
+	} else {
+		l.head = n
+	}
+	l.tail = n
+	l.size++
+}
+
 // PushFront prepends v and returns its node.
 func (l *List[T]) PushFront(v T) *Node[T] {
 	n := &Node[T]{Val: v, next: l.head}

@@ -5,7 +5,11 @@
 // Codes can be applied with FBF as well".
 package gf256
 
-import "fmt"
+import (
+	"fmt"
+
+	"fbf/internal/chunk"
+)
 
 // The field is GF(2^8) modulo the primitive polynomial x^8 + x^4 + x^3
 // + x^2 + 1 (0x11d), the conventional choice for storage codes.
@@ -80,15 +84,35 @@ func MulSlice(c byte, dst, src []byte) {
 		return
 	}
 	if c == 1 {
-		for i := range dst {
-			dst[i] ^= src[i]
-		}
+		// Coefficient 1 is plain XOR — route through the unrolled /
+		// vectorized kernel instead of a byte loop (local LRC chains are
+		// all-ones, so this is the common case).
+		chunk.XORInto(dst, src)
 		return
 	}
 	logC := int(logTable[c])
 	for i, s := range src {
 		if s != 0 {
 			dst[i] ^= expTable[logC+int(logTable[s])]
+		}
+	}
+}
+
+// ScaleSlice computes dst[i] = c * dst[i] in place, the final
+// normalization step when solving a chain equation whose lost-cell
+// coefficient is not 1.
+func ScaleSlice(c byte, dst []byte) {
+	if c == 1 {
+		return
+	}
+	if c == 0 {
+		clear(dst)
+		return
+	}
+	logC := int(logTable[c])
+	for i, d := range dst {
+		if d != 0 {
+			dst[i] = expTable[logC+int(logTable[d])]
 		}
 	}
 }

@@ -191,10 +191,11 @@ func (c *Code) Encode(s []chunk.Chunk) {
 
 // Verify reports whether every chain equation of the stripe holds.
 func (c *Code) Verify(s []chunk.Chunk) bool {
+	acc := chunk.New(len(s[0])) // reused across chains
 	for i := range c.layout.Chains() {
 		ch := &c.layout.Chains()[i]
 		co := c.coeffs[ch.ID()]
-		acc := chunk.New(len(s[0]))
+		clear(acc)
 		for j, cell := range ch.Cells {
 			gf256.MulSlice(co[j], acc, s[c.CellIndex(cell)])
 		}
@@ -270,45 +271,61 @@ func (c *Code) MaterializeStripe(seed int64, chunkSize int) []chunk.Chunk {
 	for i := range s {
 		s[i] = chunk.New(chunkSize)
 	}
+	c.MaterializeStripeInto(s, seed)
+	return s
+}
+
+// MaterializeStripeInto implements core.RebuilderInto: dst may come
+// from a pool un-zeroed — the RNG overwrites every data byte and Encode
+// clears each parity chunk before accumulating into it.
+func (c *Code) MaterializeStripeInto(dst []chunk.Chunk, seed int64) {
 	rng := rand.New(rand.NewSource(seed))
 	for _, cell := range c.layout.DataCells() {
-		rng.Read(s[c.CellIndex(cell)])
+		rng.Read(dst[c.CellIndex(cell)])
 	}
-	c.Encode(s)
-	return s
+	c.Encode(dst)
 }
 
 // RebuildChunk implements core.Rebuilder: the chain equation
 // sum(co_i * x_i) = 0 solved for the lost cell gives
 // x_lost = (1/co_lost) * sum of the other weighted members.
 func (c *Code) RebuildChunk(id grid.ChainID, lost grid.Coord, stripe []chunk.Chunk) (chunk.Chunk, error) {
+	acc := chunk.New(len(stripe[0]))
+	if err := c.RebuildChunkInto(acc, id, lost, stripe); err != nil {
+		return nil, err
+	}
+	return acc, nil
+}
+
+// RebuildChunkInto implements core.RebuilderInto: dst is cleared, the
+// weighted survivors accumulate into it, and the in-place scale by the
+// lost coefficient's inverse replaces the scratch buffer RebuildChunk
+// used to allocate.
+func (c *Code) RebuildChunkInto(dst chunk.Chunk, id grid.ChainID, lost grid.Coord, stripe []chunk.Chunk) error {
 	ch, ok := c.layout.Chain(id)
 	if !ok {
-		return nil, fmt.Errorf("lrc: no chain %v", id)
+		return fmt.Errorf("lrc: no chain %v", id)
 	}
 	co := c.coeffs[id]
 	lostCoeff := byte(0)
-	acc := chunk.New(len(stripe[0]))
+	clear(dst)
 	for i, cell := range ch.Cells {
 		if cell == lost {
 			lostCoeff = co[i]
 			continue
 		}
-		gf256.MulSlice(co[i], acc, stripe[c.CellIndex(cell)])
+		gf256.MulSlice(co[i], dst, stripe[c.CellIndex(cell)])
 	}
 	if lostCoeff == 0 {
-		return nil, fmt.Errorf("lrc: chain %v does not contain %v", id, lost)
+		return fmt.Errorf("lrc: chain %v does not contain %v", id, lost)
 	}
-	if inv := gf256.Inv(lostCoeff); inv != 1 {
-		scaled := chunk.New(len(acc))
-		gf256.MulSlice(inv, scaled, acc)
-		acc = scaled
-	}
-	return acc, nil
+	gf256.ScaleSlice(gf256.Inv(lostCoeff), dst)
+	return nil
 }
 
 // Interface conformance.
 var (
-	_ core.Geometry  = (*Code)(nil)
-	_ core.Rebuilder = (*Code)(nil)
+	_ core.Geometry      = (*Code)(nil)
+	_ core.Rebuilder     = (*Code)(nil)
+	_ core.RebuilderInto = (*Code)(nil)
 )

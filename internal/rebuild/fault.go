@@ -226,52 +226,136 @@ func (w *worker) markRecovered(cell grid.Coord, diskID int, addr int64) {
 	}
 }
 
-// issueFetch reads one missed chunk from the array (or from its spare
-// checkpoint) and reacts to injected faults per the escalation ladder.
-// done is called exactly once, when the fetch succeeds or is abandoned.
-func (w *worker) issueFetch(stripe int, cell grid.Coord, id cache.ChunkID, attempt int, done func()) {
-	e := w.engine
-	complete := func(r *disk.Request, issued, completed sim.Time) {
-		if !r.Failed {
-			e.recordResponse(e.cfg.CacheAccess + (completed - issued))
-			done()
-			return
-		}
-		e.failedReads++
-		switch r.Fault {
-		case disk.FaultTransient:
-			if attempt+1 < e.faults.RetryMax {
-				e.retries++
-				if e.tr != nil {
-					e.instant(w.lane(), obs.CatFault, "retry",
-						obs.Arg{Key: "row", Val: int64(cell.Row)},
-						obs.Arg{Key: "col", Val: int64(cell.Col)},
-						obs.Arg{Key: "attempt", Val: int64(attempt + 1)})
-				}
-				e.sim.Schedule(w.backoff(attempt), func() {
-					w.issueFetch(stripe, cell, id, attempt+1, done)
-				})
-				return
-			}
-			w.escalate(cell, id)
-			done()
-		case disk.FaultURE:
-			// UREs are permanent per address; retrying cannot help.
-			w.escalate(cell, id)
-			done()
-		default: // whole-disk failure: the re-plan handles this column
-			w.regen = true
-			done()
+// fetchOp is one miss fetch in flight: the chunk being read, the retry
+// count, and the disk request itself. Ops are recycled through the
+// worker's freelist with run and the request's completion bound once at
+// creation, so a steady-state fetch — including its retries — allocates
+// nothing. A chain's ops all retire (success, escalation or
+// abandonment) before its barrier fires, so completion always reports
+// to the owning worker's current chain.
+type fetchOp struct {
+	w       *worker
+	stripe  int
+	cell    grid.Coord
+	id      cache.ChunkID
+	attempt int
+	req     disk.Request // Handler == the op itself: no completion closure
+	runFn   func()       // prebound run, created lazily for the retry path
+	next    *fetchOp     // freelist / pending-FIFO link (one at a time)
+}
+
+// fetchOpSlab is how many ops one freelist refill allocates at once.
+const fetchOpSlab = 8
+
+// getFetchOp takes an op from the freelist, refilling it a slab at a
+// time on exhaustion.
+func (w *worker) getFetchOp() *fetchOp {
+	if w.freeOps == nil {
+		slab := make([]fetchOp, fetchOpSlab)
+		for i := range slab {
+			o := &slab[i]
+			o.w = w
+			o.req.Handler = o
+			o.next = w.freeOps
+			w.freeOps = o
 		}
 	}
+	o := w.freeOps
+	w.freeOps = o.next
+	o.next = nil
+	return o
+}
+
+// putFetchOp returns a retired op to the freelist.
+func (w *worker) putFetchOp(o *fetchOp) {
+	o.next = w.freeOps
+	w.freeOps = o
+}
+
+// run submits the op's read: from the chunk's spare checkpoint when one
+// exists, otherwise from its home cell.
+func (o *fetchOp) run() {
+	w := o.w
+	e := w.engine
 	var err error
-	if loc, ok := w.recovered[cell]; ok {
-		err = e.array.ReadAddrEx(loc.disk, loc.addr, complete)
+	if loc, ok := w.recovered[o.cell]; ok {
+		err = e.array.ReadAddrReq(loc.disk, loc.addr, &o.req)
 	} else {
-		err = e.array.ReadChunkEx(stripe, cell, complete)
+		err = e.array.ReadChunkReq(o.stripe, o.cell, &o.req)
 	}
 	if err != nil {
 		panic(fmt.Sprintf("rebuild: read failed: %v", err))
+	}
+}
+
+// pushPending appends the op to the worker's issue FIFO. Each miss
+// schedules the worker's prebound issueNextFn at its lookup-completion
+// time; a chain's lookup times strictly increase and the FIFO drains
+// before its barrier, so the k-th firing issues the k-th pushed op —
+// exactly the pairing the old per-miss closures encoded, without the
+// per-miss allocation.
+func (w *worker) pushPending(o *fetchOp) {
+	if w.pendTail != nil {
+		w.pendTail.next = o
+	} else {
+		w.pendHead = o
+	}
+	w.pendTail = o
+}
+
+// issueNext pops the oldest pending op and submits its read.
+func (w *worker) issueNext() {
+	o := w.pendHead
+	w.pendHead = o.next
+	if w.pendHead == nil {
+		w.pendTail = nil
+	}
+	o.next = nil
+	o.run()
+}
+
+// OnComplete implements disk.Handler: it reacts to the read's outcome
+// per the escalation ladder. It fires exactly once per submission; a
+// retry resubmits the same op after backoff.
+func (o *fetchOp) OnComplete(_ *disk.Request, issued, completed sim.Time) {
+	w := o.w
+	e := w.engine
+	if !o.req.Failed {
+		e.recordResponse(e.cfg.CacheAccess + (completed - issued))
+		w.putFetchOp(o)
+		w.chainDone()
+		return
+	}
+	e.failedReads++
+	switch o.req.Fault {
+	case disk.FaultTransient:
+		if o.attempt+1 < e.faults.RetryMax {
+			e.retries++
+			if e.tr != nil {
+				e.instant(w.lane(), obs.CatFault, "retry",
+					obs.Arg{Key: "row", Val: int64(o.cell.Row)},
+					obs.Arg{Key: "col", Val: int64(o.cell.Col)},
+					obs.Arg{Key: "attempt", Val: int64(o.attempt + 1)})
+			}
+			if o.runFn == nil {
+				o.runFn = o.run
+			}
+			e.sim.Schedule(w.backoff(o.attempt), o.runFn)
+			o.attempt++
+			return
+		}
+		w.escalate(o.cell, o.id)
+		w.putFetchOp(o)
+		w.chainDone()
+	case disk.FaultURE:
+		// UREs are permanent per address; retrying cannot help.
+		w.escalate(o.cell, o.id)
+		w.putFetchOp(o)
+		w.chainDone()
+	default: // whole-disk failure: the re-plan handles this column
+		w.regen = true
+		w.putFetchOp(o)
+		w.chainDone()
 	}
 }
 
@@ -292,24 +376,30 @@ func (w *worker) backoff(attempt int) sim.Time {
 // writeRecovered writes one rebuilt chunk to the spare area of its home
 // disk, failing over to the next surviving disk, and checkpoints the
 // result. With every disk dead the chunk has nowhere to live and is
-// accounted lost.
+// accounted lost. The worker's preallocated spare request carries the
+// write; its completion (spareDone) was bound at construction.
 func (w *worker) writeRecovered(sel core.SelectedChain) {
 	e := w.engine
-	var target int
-	var addr int64
-	target, addr = e.array.WriteSpareEx(sel.Lost.Col, func(r *disk.Request, issued, completed sim.Time) {
-		if r.Failed {
-			// The spare target died mid-write; try the next survivor.
-			w.writeRecovered(sel)
-			return
-		}
-		w.markRecovered(sel.Lost, target, addr)
-		w.startChain()
-	})
+	w.curSel = sel
+	target, addr := e.array.WriteSpareReq(sel.Lost.Col, &w.spareReq)
 	if target < 0 {
 		e.loseChunk(cache.ChunkID{Stripe: w.scheme.Err.Stripe, Cell: sel.Lost})
 		w.startChain()
+		return
 	}
+	w.spareTarget, w.spareAddr = target, addr
+}
+
+// spareDone completes the spare write of the current chain's recovered
+// chunk.
+func (w *worker) spareDone(issued, completed sim.Time) {
+	if w.spareReq.Failed {
+		// The spare target died mid-write; try the next survivor.
+		w.writeRecovered(w.curSel)
+		return
+	}
+	w.markRecovered(w.curSel.Lost, w.spareTarget, w.spareAddr)
+	w.startChain()
 }
 
 // unavailableCells lists this stripe's chunks on failed columns that

@@ -179,6 +179,17 @@ func (c *Config) Validate() error {
 	if c.MetricsInterval > 0 && c.Metrics == nil {
 		return &ConfigError{Field: "MetricsInterval", Reason: "set without a Metrics registry"}
 	}
+	if c.App != nil {
+		if c.App.Requests < 0 {
+			return &ConfigError{Field: "App.Requests", Reason: fmt.Sprintf("negative request count %d", c.App.Requests)}
+		}
+		if c.App.ErrorLocality < 0 || c.App.ErrorLocality > 1 {
+			return &ConfigError{Field: "App.ErrorLocality", Reason: fmt.Sprintf("probability %v outside [0, 1]", c.App.ErrorLocality)}
+		}
+		if c.App.ZipfS > 1 && c.Stripes == 1 {
+			return &ConfigError{Field: "App.ZipfS", Reason: "Zipf-skewed stripe popularity needs at least 2 stripes"}
+		}
+	}
 	if c.VerifyData {
 		if _, ok := c.Code.(core.Rebuilder); !ok {
 			return fmt.Errorf("rebuild: VerifyData requires a code implementing core.Rebuilder")
@@ -222,6 +233,13 @@ type Result struct {
 	AppRequests    uint64
 	AppHits        uint64
 	AppSumResponse sim.Time
+
+	// AppEvictions counts cache evictions triggered by foreground
+	// application requests. Cache.Evictions above counts only evictions
+	// the recovery replay itself caused; the two streams share each
+	// worker's partition, so without the split the app workload would
+	// silently inflate the recovery eviction figure.
+	AppEvictions uint64
 
 	// VerifiedChunks counts lost chunks whose recovered contents were
 	// byte-verified (Config.VerifyData).
@@ -394,6 +412,9 @@ func Run(cfg Config, errors []core.PartialStripeError) (*Result, error) {
 	}
 
 	e := &engine{cfg: cfg, sim: s, array: array, groups: errors, stripeOwner: make(map[int]int), tr: cfg.Tracer}
+	if cfg.VerifyData {
+		e.pool = chunk.NewPool(cfg.ChunkSize)
+	}
 	if faults != nil {
 		e.faults = faults
 		e.failedCols = make(map[int]bool)
@@ -426,6 +447,11 @@ func Run(cfg Config, errors []core.PartialStripeError) (*Result, error) {
 			return nil, err
 		}
 		w := &worker{engine: e, id: i, cache: policy}
+		w.doneFn = w.chainDone
+		w.afterXORFn = w.afterXOR
+		w.startChainFn = w.startChain
+		w.issueNextFn = w.issueNext
+		w.spareReq.Done = w.spareDone
 		e.workers = append(e.workers, w)
 		s.Schedule(0, w.nextGroup)
 	}
@@ -465,6 +491,10 @@ func Run(cfg Config, errors []core.PartialStripeError) (*Result, error) {
 	for _, w := range e.workers {
 		res.Cache.Evictions += w.cache.Stats().Evictions
 	}
+	// The per-worker caches count every eviction regardless of which
+	// stream caused it; attribute the app-induced ones separately.
+	res.Cache.Evictions -= e.appEvictions
+	res.AppEvictions = e.appEvictions
 	total := array.TotalStats()
 	res.DiskReads = total.Reads
 	res.DiskWrites = total.Writes
@@ -510,11 +540,17 @@ type engine struct {
 	appHits        uint64
 	appMisses      uint64
 	appSumResponse sim.Time
+	appEvictions   uint64
 	stripeOwner    map[int]int // stripe -> worker id that repaired it
 
 	verifiedChunks uint64
 	verifyErr      error
 	respHist       *stats.Histogram
+
+	// pool recycles the chunk buffers the VerifyData mode carries (stripe
+	// materializations and XOR accumulators); nil when no run data path
+	// needs real bytes.
+	pool *chunk.Pool
 
 	// Observability (nil unless Config.Tracer / Config.Metrics was set).
 	tr          obs.Tracer
@@ -522,16 +558,16 @@ type engine struct {
 	groupsDone  int
 
 	// Fault-injection state (nil / zero unless Config.Faults was set).
-	faults       *FaultConfig // defaulted copy
-	failedCols   map[int]bool // columns of dead disks
-	retries      uint64
+	faults        *FaultConfig // defaulted copy
+	failedCols    map[int]bool // columns of dead disks
+	retries       uint64
 	regenerations uint64
-	escalations  uint64
-	rePlans      uint64
-	failedReads  uint64
-	checkpointed uint64
-	lostChunks   []cache.ChunkID
-	lastRepair   sim.Time
+	escalations   uint64
+	rePlans       uint64
+	failedReads   uint64
+	checkpointed  uint64
+	lostChunks    []cache.ChunkID
+	lastRepair    sim.Time
 }
 
 // arriveGroup makes one more error group available and wakes a parked
@@ -558,14 +594,46 @@ func (e *engine) recordResponse(t sim.Time) {
 
 // worker repairs one error group at a time (stripe-oriented
 // reconstruction), owning a private cache partition.
+//
+// The chain replay is a state machine over preallocated fields rather
+// than per-chain closures: chains run strictly one at a time per
+// worker, so the current chain (curSel), its fetch barrier counter
+// (outstanding) and the spare-write request all live on the worker and
+// are reused for every chain of every group. The callbacks the
+// simulator and disks invoke (doneFn, afterXORFn, startChainFn,
+// spareReq.Done) are bound once at construction — the old code
+// allocated a done/barrier closure pair per chain plus one closure per
+// miss, which dominated the rebuild hot path's allocations.
 type worker struct {
 	engine *engine
 	id     int
 	cache  cache.Policy
 
-	scheme   *core.Scheme
-	chainIdx int
-	stripe   []chunk.Chunk // materialized contents when VerifyData is set
+	scheme    *core.Scheme
+	chainIdx  int
+	stripe    []chunk.Chunk // materialized contents when VerifyData is set
+	stripeBuf []chunk.Chunk // reusable slice header for pooled stripes
+
+	// Chain state machine (reused across chains).
+	curSel       core.SelectedChain
+	outstanding  int    // lookup phase + in-flight miss fetches
+	doneFn       func() // prebound chainDone
+	afterXORFn   func() // prebound afterXOR
+	startChainFn func() // prebound startChain (for Schedule sites)
+
+	// Spare-write state (one write in flight per worker at most).
+	spareReq    disk.Request // Done prebound to spareDone
+	spareTarget int
+	spareAddr   int64
+
+	// freeOps recycles fetch operations; each op embeds its disk.Request
+	// and implements disk.Handler, so a steady-state miss fetch allocates
+	// nothing. pendHead/pendTail queue ops awaiting their lookup
+	// completion (issued in FIFO order by issueNextFn).
+	freeOps     *fetchOp
+	pendHead    *fetchOp
+	pendTail    *fetchOp
+	issueNextFn func() // prebound issueNext
 
 	// Fault state for the group in progress (Config.Faults only).
 	recovered map[grid.Coord]spareLoc // checkpointed chunks → spare location
@@ -615,7 +683,10 @@ func (e *engine) scheduleAppWorkload() {
 				owner = e.workers[wid]
 			}
 			id := cache.ChunkID{Stripe: stripe, Cell: cell}
-			if owner.cache.Request(id) {
+			evBefore := owner.cache.Stats().Evictions
+			hit := owner.cache.Request(id)
+			e.appEvictions += owner.cache.Stats().Evictions - evBefore
+			if hit {
 				e.appHits++
 				e.appSumResponse += e.cfg.CacheAccess
 				if e.tr != nil {
@@ -638,10 +709,43 @@ func (e *engine) scheduleAppWorkload() {
 }
 
 // materializeStripe deterministically fills and encodes the stripe an
-// error group lives on, so recovered chunks can be byte-verified.
+// error group lives on, so recovered chunks can be byte-verified. The
+// chunk buffers come from the engine's pool when the code supports
+// in-place materialization (core.RebuilderInto) — GetRaw, because every
+// byte is overwritten; releaseStripe returns them after the group.
 func (w *worker) materializeStripe(stripeIdx int) []chunk.Chunk {
-	rb := w.engine.cfg.Code.(core.Rebuilder) // checked in Run
-	return rb.MaterializeStripe(int64(stripeIdx)+0x5EED, w.engine.cfg.ChunkSize)
+	e := w.engine
+	seed := int64(stripeIdx) + 0x5EED
+	ri, ok := e.cfg.Code.(core.RebuilderInto)
+	if !ok || e.pool == nil {
+		rb := e.cfg.Code.(core.Rebuilder) // checked in Run
+		return rb.MaterializeStripe(seed, e.cfg.ChunkSize)
+	}
+	cells := e.cfg.Code.Layout().Cells()
+	s := w.stripeBuf
+	if cap(s) < cells {
+		s = make([]chunk.Chunk, 0, cells)
+	}
+	s = s[:0]
+	for i := 0; i < cells; i++ {
+		s = append(s, e.pool.GetRaw())
+	}
+	w.stripeBuf = s
+	ri.MaterializeStripeInto(s, seed)
+	return s
+}
+
+// releaseStripe returns pooled stripe buffers after a group completes.
+func (w *worker) releaseStripe() {
+	if w.stripe == nil {
+		return
+	}
+	if _, ok := w.engine.cfg.Code.(core.RebuilderInto); ok && w.engine.pool != nil {
+		for _, c := range w.stripe {
+			w.engine.pool.Put(c)
+		}
+	}
+	w.stripe = nil
 }
 
 // verifyChain checks that rebuilding from the chain's other members
@@ -652,18 +756,38 @@ func (w *worker) verifyChain(sel core.SelectedChain) {
 	e := w.engine
 	rb := e.cfg.Code.(core.Rebuilder)
 	var got chunk.Chunk
+	var pooled bool
 	var err error
-	if sel.Decoded {
+	switch {
+	case sel.Decoded && e.pool != nil && len(sel.Fetch) > 0:
+		// Copy-first accumulation into a dirty pooled buffer: the first
+		// member overwrites every byte, so GetRaw skips a redundant clear.
+		got = e.pool.GetRaw()
+		pooled = true
+		copy(got, w.stripe[core.CellIndex(rb.Layout(), sel.Fetch[0])])
+		for _, m := range sel.Fetch[1:] {
+			chunk.XORInto(got, w.stripe[core.CellIndex(rb.Layout(), m)])
+		}
+	case sel.Decoded:
 		acc := chunk.New(e.cfg.ChunkSize)
 		for _, m := range sel.Fetch {
 			chunk.XORInto(acc, w.stripe[core.CellIndex(rb.Layout(), m)])
 		}
 		got = acc
-	} else {
-		got, err = rb.RebuildChunk(sel.Chain, sel.Lost, w.stripe)
+	default:
+		if ri, ok := rb.(core.RebuilderInto); ok && e.pool != nil {
+			got = e.pool.GetRaw()
+			pooled = true
+			err = ri.RebuildChunkInto(got, sel.Chain, sel.Lost, w.stripe)
+		} else {
+			got, err = rb.RebuildChunk(sel.Chain, sel.Lost, w.stripe)
+		}
 	}
 	if err == nil && !got.Equal(w.stripe[core.CellIndex(rb.Layout(), sel.Lost)]) {
 		err = fmt.Errorf("rebuild: recovered chunk %v of %v does not match original contents", sel.Lost, w.scheme.Err)
+	}
+	if pooled {
+		e.pool.Put(got)
 	}
 	if err != nil {
 		if e.verifyErr == nil {
@@ -749,7 +873,7 @@ func (w *worker) installScheme(scheme *core.Scheme, wall time.Duration) {
 		if e.tr != nil {
 			w.traceSchemeGen(scheme.Err.Stripe, len(scheme.Selected), charge)
 		}
-		e.sim.Schedule(charge, w.startChain)
+		e.sim.Schedule(charge, w.startChainFn)
 		return
 	}
 	if e.tr != nil {
@@ -781,56 +905,20 @@ func (w *worker) startChain() {
 			w.closeGroup(w.scheme.Err.Stripe, len(w.scheme.Selected))
 		}
 		w.scheme = nil
-		w.stripe = nil
+		w.releaseStripe()
 		w.recovered, w.escalated, w.escalSet = nil, nil, nil
 		w.nextGroup()
 		return
 	}
 	sel := w.scheme.Selected[w.chainIdx]
 	w.chainIdx++
+	w.curSel = sel
 	stripe := w.scheme.Err.Stripe
 	if e.tr != nil {
 		w.openChain(cache.ChunkID{Stripe: stripe, Cell: sel.Lost}, len(sel.Fetch))
 	}
 
-	outstanding := 1 // the lookup phase itself
-	var barrier func()
-	done := func() {
-		outstanding--
-		if outstanding == 0 {
-			barrier()
-		}
-	}
-	barrier = func() {
-		if w.aborted || w.regen {
-			// The chain's fetches are incomplete (escalated chunk or dead
-			// disk); its XOR would be garbage. Re-plan instead.
-			if e.tr != nil {
-				w.closeChain(true)
-			}
-			w.regenerate()
-			return
-		}
-		// XOR the fetched chunks, then write the recovered chunk to the
-		// failed disk's spare area.
-		e.xorChunks += uint64(len(sel.Fetch))
-		if e.cfg.VerifyData {
-			w.verifyChain(sel)
-		}
-		xor := e.cfg.XORPerChunk * sim.Time(len(sel.Fetch))
-		if e.tr != nil {
-			e.tr.Emit(obs.Event{Name: "xor", Cat: obs.CatXOR, Ph: obs.PhaseSpan,
-				Track: w.lane(), TS: e.sim.Now(), Dur: xor,
-				Args: []obs.Arg{{Key: "chunks", Val: int64(len(sel.Fetch))}}})
-		}
-		e.sim.Schedule(xor, func() {
-			if e.cfg.SkipSpareWrites {
-				w.startChain()
-				return
-			}
-			w.writeRecovered(sel)
-		})
-	}
+	w.outstanding = 1 // the lookup phase itself
 
 	// Sequential lookups: lookup i completes at (i+1) * CacheAccess from
 	// now. Policy calls happen in request order; a miss issues its disk
@@ -848,16 +936,67 @@ func (w *worker) startChain() {
 		lookupDone := now + sim.Time(i+1)*e.cfg.CacheAccess
 		if hit {
 			e.recHits++
-			e.recordResponse(e.cfg.CacheAccess)
+			// A hit's data is available when its lookup completes — after
+			// the i earlier sequential accesses of the chain plus its own,
+			// so the response time includes the queueing delay. (Misses
+			// charge relative to their own lookup completion, when the
+			// disk read is issued.)
+			e.recordResponse(sim.Time(i+1) * e.cfg.CacheAccess)
 			continue
 		}
 		e.recMisses++
-		outstanding++
-		cell := cell
-		e.sim.ScheduleAt(lookupDone, func() {
-			w.issueFetch(stripe, cell, id, 0, done)
-		})
+		w.outstanding++
+		o := w.getFetchOp()
+		o.stripe, o.cell, o.id, o.attempt = stripe, cell, id, 0
+		w.pushPending(o)
+		e.sim.ScheduleAt(lookupDone, w.issueNextFn)
 	}
 	// The lookup phase ends after the last sequential access.
-	e.sim.ScheduleAt(now+sim.Time(len(sel.Fetch))*e.cfg.CacheAccess, done)
+	e.sim.ScheduleAt(now+sim.Time(len(sel.Fetch))*e.cfg.CacheAccess, w.doneFn)
+}
+
+// chainDone retires one of the current chain's outstanding parts (the
+// lookup phase or a miss fetch); the last one through runs the barrier.
+func (w *worker) chainDone() {
+	w.outstanding--
+	if w.outstanding == 0 {
+		w.barrier()
+	}
+}
+
+// barrier runs when the current chain's lookups and fetches have all
+// completed: XOR the fetched chunks, then write the recovered chunk to
+// the failed disk's spare area.
+func (w *worker) barrier() {
+	e := w.engine
+	if w.aborted || w.regen {
+		// The chain's fetches are incomplete (escalated chunk or dead
+		// disk); its XOR would be garbage. Re-plan instead.
+		if e.tr != nil {
+			w.closeChain(true)
+		}
+		w.regenerate()
+		return
+	}
+	sel := w.curSel
+	e.xorChunks += uint64(len(sel.Fetch))
+	if e.cfg.VerifyData {
+		w.verifyChain(sel)
+	}
+	xor := e.cfg.XORPerChunk * sim.Time(len(sel.Fetch))
+	if e.tr != nil {
+		e.tr.Emit(obs.Event{Name: "xor", Cat: obs.CatXOR, Ph: obs.PhaseSpan,
+			Track: w.lane(), TS: e.sim.Now(), Dur: xor,
+			Args: []obs.Arg{{Key: "chunks", Val: int64(len(sel.Fetch))}}})
+	}
+	e.sim.Schedule(xor, w.afterXORFn)
+}
+
+// afterXOR runs when the chain's XOR compute charge has elapsed.
+func (w *worker) afterXOR() {
+	if w.engine.cfg.SkipSpareWrites {
+		w.startChain()
+		return
+	}
+	w.writeRecovered(w.curSel)
 }

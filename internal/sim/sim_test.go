@@ -1,7 +1,9 @@
 package sim
 
 import (
+	"fmt"
 	"math/rand"
+	"sort"
 	"testing"
 )
 
@@ -172,4 +174,106 @@ func TestTickRejectsBadInterval(t *testing.T) {
 		}
 	}()
 	New().Tick(0, func(Time) {})
+}
+
+// TestHeapRandomOrdering cross-checks the typed 4-ary heap against a
+// sort of the same schedule: events drawn with random times (many ties)
+// must fire in (time, insertion) order.
+func TestHeapRandomOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 20; trial++ {
+		s := New()
+		n := 1 + rng.Intn(500)
+		type stamp struct {
+			at  Time
+			seq int
+		}
+		want := make([]stamp, n)
+		var got []stamp
+		for i := 0; i < n; i++ {
+			at := Time(rng.Intn(37)) // heavy tie pressure
+			want[i] = stamp{at, i}
+			st := stamp{at, i}
+			s.ScheduleAt(at, func() { got = append(got, st) })
+		}
+		sort.SliceStable(want, func(i, j int) bool { return want[i].at < want[j].at })
+		s.Run()
+		if len(got) != n {
+			t.Fatalf("trial %d: ran %d of %d events", trial, len(got), n)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: event %d fired as %+v, want %+v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestHeapInterleavedPushPop exercises pops interleaved with nested
+// pushes so sift-down paths past the first level are covered.
+func TestHeapInterleavedPushPop(t *testing.T) {
+	s := New()
+	rng := rand.New(rand.NewSource(42))
+	var last Time
+	ran := 0
+	var spawn func()
+	spawn = func() {
+		if s.Now() < last {
+			t.Fatalf("clock regressed: %v after %v", s.Now(), last)
+		}
+		last = s.Now()
+		ran++
+		for k := rng.Intn(4); k > 0; k-- {
+			if ran < 5000 {
+				s.Schedule(Time(rng.Intn(100)), spawn)
+			}
+		}
+	}
+	for i := 0; i < 32; i++ {
+		s.Schedule(Time(rng.Intn(100)), spawn)
+	}
+	s.Run()
+	if s.Pending() != 0 {
+		t.Fatalf("heap left %d events pending", s.Pending())
+	}
+}
+
+// TestScheduleSteadyStateAllocs pins the heap's zero-allocation
+// contract: once the pending slice has grown, scheduling an event boxes
+// nothing (the old container/heap path allocated once per event).
+func TestScheduleSteadyStateAllocs(t *testing.T) {
+	s := New()
+	fn := func() {}
+	// Warm up the backing array.
+	for i := 0; i < 64; i++ {
+		s.Schedule(Time(i), fn)
+	}
+	s.Run()
+	allocs := testing.AllocsPerRun(100, func() {
+		s.Schedule(1, fn)
+		s.Step()
+	})
+	if allocs != 0 {
+		t.Errorf("schedule+step allocates %.1f times per event, want 0", allocs)
+	}
+}
+
+// BenchmarkSchedule measures raw event throughput: push one, pop one,
+// at a steady heap depth.
+func BenchmarkSchedule(b *testing.B) {
+	for _, depth := range []int{16, 1024} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			s := New()
+			fn := func() {}
+			for i := 0; i < depth; i++ {
+				s.Schedule(Time(i%97), fn)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Schedule(Time(i%97)+1, fn)
+				s.Step()
+			}
+		})
+	}
 }

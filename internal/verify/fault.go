@@ -100,7 +100,7 @@ func CheckEscalatedRecovery(code *codes.Code, e core.PartialStripeError, escalat
 	// cells hold garbage, chains execute in order writing results back,
 	// so a chain that reads an unrecovered or unavailable cell corrupts
 	// its output and fails the diff.
-	damaged := damageStripe(original, code, append(append([]grid.Coord{}, repair...), unavailable...))
+	damaged := damageStripe(original, code, append(append([]grid.Coord{}, repair...), unavailable...), nil)
 	for _, sel := range scheme.Selected {
 		acc := chunk.New(chunkSize)
 		for _, m := range sel.Fetch {

@@ -98,6 +98,10 @@ func SweepStripes(cfg StripeConfig) (*StripeReport, error) {
 		return nil, fmt.Errorf("verify: %v: materialized stripe fails parity verification", code)
 	}
 
+	// One pool serves the whole sweep: the damaged/oracled stripe copies
+	// and XOR accumulators of every (pattern, strategy) pair recycle the
+	// same buffers instead of re-allocating thousands of chunks.
+	pool := chunk.NewPool(chunkSize)
 	report := &StripeReport{Code: code.Name(), P: code.P()}
 	maxSize := code.MaxPartialSize()
 	if maxSize > code.Rows() {
@@ -112,7 +116,7 @@ func SweepStripes(cfg StripeConfig) (*StripeReport, error) {
 				}
 				report.Patterns++
 				for _, strat := range strategies {
-					rec, orc, err := checkPattern(code, original, e, strat)
+					rec, orc, err := checkPattern(code, original, e, strat, pool)
 					if err != nil {
 						return nil, fmt.Errorf("verify: %v %v strategy=%v: %w", code, e, strat, err)
 					}
@@ -140,7 +144,7 @@ func CheckPattern(code *codes.Code, e core.PartialStripeError, strat core.Strate
 	if !code.Verify(original) {
 		return fmt.Errorf("verify: %v: materialized stripe fails parity verification", code)
 	}
-	if _, _, err := checkPattern(code, original, e, strat); err != nil {
+	if _, _, err := checkPattern(code, original, e, strat, nil); err != nil {
 		return fmt.Errorf("verify: %v %v strategy=%v: %w", code, e, strat, err)
 	}
 	return nil
@@ -148,8 +152,14 @@ func CheckPattern(code *codes.Code, e core.PartialStripeError, strat core.Strate
 
 // checkPattern runs the full check for one (pattern, strategy) against
 // a pre-materialized, pre-verified stripe. It returns the number of
-// chain-recovered chunks and oracle-checked cells.
-func checkPattern(code *codes.Code, original []chunk.Chunk, e core.PartialStripeError, strat core.Strategy) (recovered, oracle int, err error) {
+// chain-recovered chunks and oracle-checked cells. All scratch buffers
+// (stripe copies, XOR accumulators) come from pool; a nil pool gets a
+// private one. Error paths may leave buffers unreturned — errors abort
+// the sweep, so nothing is lost.
+func checkPattern(code *codes.Code, original []chunk.Chunk, e core.PartialStripeError, strat core.Strategy, pool *chunk.Pool) (recovered, oracle int, err error) {
+	if pool == nil {
+		pool = chunk.NewPool(len(original[0]))
+	}
 	lost := e.LostCells()
 	scheme, err := core.GenerateScheme(code, e, strat)
 	if err != nil {
@@ -171,11 +181,18 @@ func checkPattern(code *codes.Code, original []chunk.Chunk, e core.PartialStripe
 	// chain. Reading from the damaged stripe means a scheme that fetches
 	// a lost (or not-yet-recovered) cell corrupts its output and fails
 	// the diff below.
-	damaged := damageStripe(original, code, lost)
+	damaged := damageStripe(original, code, lost, pool)
+	acc := pool.GetRaw() // every path below overwrites it fully
 	for _, sel := range scheme.Selected {
-		acc := chunk.New(len(original[0]))
-		for _, m := range sel.Fetch {
-			chunk.XORInto(acc, damaged[code.CellIndex(m)])
+		if len(sel.Fetch) == 0 {
+			clear(acc)
+		} else {
+			// Copy-first accumulation: the first member overwrites the
+			// dirty buffer, the rest XOR in.
+			copy(acc, damaged[code.CellIndex(sel.Fetch[0])])
+			for _, m := range sel.Fetch[1:] {
+				chunk.XORInto(acc, damaged[code.CellIndex(m)])
+			}
 		}
 		want := original[code.CellIndex(sel.Lost)]
 		if !acc.Equal(want) {
@@ -202,10 +219,10 @@ func checkPattern(code *codes.Code, original []chunk.Chunk, e core.PartialStripe
 	for _, c := range lost {
 		lostSet[c] = true
 	}
-	oracled := damageStripe(original, code, lost)
+	oracled := damageStripe(original, code, lost, pool)
 	for _, cell := range lost {
 		terms := plan[cell]
-		acc := chunk.New(len(original[0]))
+		clear(acc)
 		for _, t := range terms {
 			if lostSet[t] {
 				return 0, 0, fmt.Errorf("gf2 plan for %v reads lost cell %v", cell, t)
@@ -221,6 +238,9 @@ func checkPattern(code *codes.Code, original []chunk.Chunk, e core.PartialStripe
 		}
 		oracle++
 	}
+	pool.Put(acc)
+	releaseStripe(pool, damaged)
+	releaseStripe(pool, oracled)
 	return recovered, oracle, nil
 }
 
@@ -278,11 +298,16 @@ func checkSchemeShape(code *codes.Code, s *core.Scheme, lost []grid.Coord) error
 }
 
 // damageStripe deep-copies the stripe and overwrites the lost cells
-// with garbage.
-func damageStripe(original []chunk.Chunk, code *codes.Code, lost []grid.Coord) []chunk.Chunk {
+// with garbage. With a non-nil pool the copies are drawn from it
+// (GetRaw — the copy overwrites every byte); release with releaseStripe.
+func damageStripe(original []chunk.Chunk, code *codes.Code, lost []grid.Coord, pool *chunk.Pool) []chunk.Chunk {
 	out := make([]chunk.Chunk, len(original))
 	for i, c := range original {
-		out[i] = make(chunk.Chunk, len(c))
+		if pool != nil {
+			out[i] = pool.GetRaw()
+		} else {
+			out[i] = make(chunk.Chunk, len(c))
+		}
 		copy(out[i], c)
 	}
 	for _, cell := range lost {
@@ -292,6 +317,13 @@ func damageStripe(original []chunk.Chunk, code *codes.Code, lost []grid.Coord) [
 		}
 	}
 	return out
+}
+
+// releaseStripe returns a damageStripe copy's chunks to the pool.
+func releaseStripe(pool *chunk.Pool, s []chunk.Chunk) {
+	for _, c := range s {
+		pool.Put(c)
+	}
 }
 
 // firstDiff returns the first differing byte offset of two equal-length
