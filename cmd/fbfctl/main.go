@@ -1,0 +1,297 @@
+// Command fbfctl manages on-disk fbf chunk stores: it materializes
+// arrays, reports their health, and drives the storage-engine rebuild —
+// the same scheme/cache/escalation machinery the simulator replays,
+// applied to real bytes behind internal/store.
+//
+// Usage:
+//
+//	fbfctl init    -store DIR -code NAME [-p N] [-stripes N] [-chunk BYTES] [-seed N]
+//	fbfctl status  -store DIR [-o scrub]
+//	fbfctl rebuild -store DIR [-policy NAME] [-strategy NAME] [-cache N] [-progress]
+//	               [-o check-only] [-o dry-run] [-o scrub] [-o no-verify]
+//	               [-o priority=sequential|vulnerable]
+//
+// Operator options follow the rclone `-o key[=value]` convention.
+// Exit status: 0 success (and store clean), 1 error, 2 damage present
+// (status, rebuild -o check-only) or data loss (rebuild).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"fbf/internal/cache"
+	"fbf/internal/cli"
+	"fbf/internal/codes"
+	"fbf/internal/core"
+	"fbf/internal/rebuild"
+	"fbf/internal/store"
+)
+
+const (
+	exitOK      = 0
+	exitErr     = 1
+	exitDamaged = 2
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+func usage(stderr io.Writer) int {
+	fmt.Fprintf(stderr, `usage:
+  fbfctl init    -store DIR -code NAME [-p N] [-stripes N] [-chunk BYTES] [-seed N]
+  fbfctl status  -store DIR [-o scrub]
+  fbfctl rebuild -store DIR [-policy NAME] [-strategy NAME] [-cache N] [-progress]
+                 [-o check-only] [-o dry-run] [-o scrub] [-o no-verify]
+                 [-o priority=sequential|vulnerable]
+
+codes: %v  policies: %v
+exit status: 0 ok, 1 error, 2 damage/data loss
+`, codes.Names(), cache.Names())
+	return exitErr
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		return usage(stderr)
+	}
+	switch args[0] {
+	case "init":
+		return runInit(args[1:], stdout, stderr)
+	case "status":
+		return runStatus(args[1:], stdout, stderr)
+	case "rebuild":
+		return runRebuild(args[1:], stdout, stderr)
+	case "help", "-h", "-help", "--help":
+		usage(stderr)
+		return exitOK
+	}
+	fmt.Fprintf(stderr, "fbfctl: unknown command %q\n", args[0])
+	return usage(stderr)
+}
+
+func fail(stderr io.Writer, err error) int {
+	fmt.Fprintf(stderr, "fbfctl: %v\n", err)
+	return exitErr
+}
+
+func runInit(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fbfctl init", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	storeDir := fs.String("store", "", "store directory (created if absent)")
+	codeName := fs.String("code", "star", "erasure code name")
+	p := fs.Int("p", 5, "code prime")
+	stripes := fs.Int("stripes", 16, "stripes to materialize")
+	chunkSize := fs.Int("chunk", 4096, "chunk size in bytes")
+	seed := fs.Int64("seed", 1, "data seed")
+	if err := fs.Parse(args); err != nil {
+		return exitErr
+	}
+	if *storeDir == "" {
+		return fail(stderr, fmt.Errorf("bad -store: empty store directory"))
+	}
+	code, err := codes.New(*codeName, *p)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	if _, err := store.ReadManifest(*storeDir); err == nil {
+		return fail(stderr, fmt.Errorf("%s already holds an fbf store (refusing to overwrite)", *storeDir))
+	}
+	m := store.ArrayManifest{
+		Code: *codeName, P: *p,
+		Disks: code.Disks(), Rows: code.Rows(),
+		Stripes: *stripes, ChunkSize: *chunkSize,
+	}
+	b, err := store.OpenDir(*storeDir)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	if err := store.WriteManifest(*storeDir, m); err != nil {
+		return fail(stderr, err)
+	}
+	if err := rebuild.InitStore(b, m, *seed); err != nil {
+		return fail(stderr, err)
+	}
+	fmt.Fprintf(stdout, "initialized %s (p=%d) array: %d chunks across %d disks\n",
+		m.Code, m.P, m.Chunks(), m.Disks)
+	printManifest(stdout, m)
+	return exitOK
+}
+
+// openStore loads the manifest and dirstore backend of one store root.
+func openStore(dir string) (store.ArrayManifest, *store.Dir, error) {
+	if dir == "" {
+		return store.ArrayManifest{}, nil, fmt.Errorf("bad -store: empty store directory")
+	}
+	m, err := store.ReadManifest(dir)
+	if err != nil {
+		return store.ArrayManifest{}, nil, err
+	}
+	b, err := store.OpenDir(dir)
+	if err != nil {
+		return store.ArrayManifest{}, nil, err
+	}
+	return m, b, nil
+}
+
+func printManifest(w io.Writer, m store.ArrayManifest) {
+	fmt.Fprintf(w, "        code : %s (p=%d)\n", m.Code, m.P)
+	fmt.Fprintf(w, "       disks : %d\n", m.Disks)
+	fmt.Fprintf(w, "        rows : %d\n", m.Rows)
+	fmt.Fprintf(w, "     stripes : %d\n", m.Stripes)
+	fmt.Fprintf(w, "  chunk size : %d B\n", m.ChunkSize)
+}
+
+// printDamage renders a scan in mdadm --detail style. It returns
+// whether the store is damaged.
+func printDamage(w io.Writer, m store.ArrayManifest, rep *rebuild.DamageReport) bool {
+	if rep.Clean() {
+		fmt.Fprintf(w, "       state : clean\n")
+	} else {
+		fmt.Fprintf(w, "       state : degraded\n")
+		fmt.Fprintf(w, "     missing : %d chunks\n", rep.MissingChunks)
+		fmt.Fprintf(w, "     corrupt : %d chunks\n", rep.CorruptChunks)
+		if len(rep.FailedDisks) > 0 {
+			names := ""
+			for i, d := range rep.FailedDisks {
+				if i > 0 {
+					names += ", "
+				}
+				names += store.DiskDirName(d)
+			}
+			fmt.Fprintf(w, "failed disks : %d (%s)\n", len(rep.FailedDisks), names)
+		}
+		fmt.Fprintf(w, "    degraded : %d of %d stripes\n", len(rep.Stripes), m.Stripes)
+	}
+	if len(rep.ExtraChunks) > 0 {
+		fmt.Fprintf(w, "       extra : %d chunks outside the array geometry\n", len(rep.ExtraChunks))
+	}
+	return !rep.Clean()
+}
+
+func runStatus(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fbfctl status", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	storeDir := fs.String("store", "", "store directory")
+	var opts cli.Options
+	fs.Var(&opts, "o", "operator option: scrub")
+	if err := fs.Parse(args); err != nil {
+		return exitErr
+	}
+	if unknown := opts.Unknown("scrub"); len(unknown) > 0 {
+		return fail(stderr, fmt.Errorf("unknown -o options %v (status knows: scrub)", unknown))
+	}
+	scrub, err := opts.Bool("scrub")
+	if err != nil {
+		return fail(stderr, err)
+	}
+	m, b, err := openStore(*storeDir)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	rep, err := rebuild.ScanStore(b, m, scrub)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	printManifest(stdout, m)
+	if printDamage(stdout, m, rep) {
+		return exitDamaged
+	}
+	return exitOK
+}
+
+func runRebuild(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fbfctl rebuild", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	storeDir := fs.String("store", "", "store directory")
+	policy := fs.String("policy", "fbf", "cache policy for surviving chunks")
+	strategy := fs.String("strategy", "looped", "chain-selection strategy")
+	cacheChunks := fs.Int("cache", 64, "cache capacity in chunks (negative disables)")
+	progress := fs.Bool("progress", false, "report per-stripe progress on stderr")
+	var opts cli.Options
+	fs.Var(&opts, "o", "operator option: check-only, dry-run, scrub, no-verify, priority=...")
+	if err := fs.Parse(args); err != nil {
+		return exitErr
+	}
+	if unknown := opts.Unknown("check-only", "dry-run", "scrub", "no-verify", "priority"); len(unknown) > 0 {
+		return fail(stderr, fmt.Errorf("unknown -o options %v (rebuild knows: check-only, dry-run, scrub, no-verify, priority)", unknown))
+	}
+	strat, err := core.ParseStrategy(*strategy)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	m, b, err := openStore(*storeDir)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	cfg := rebuild.ServiceConfig{
+		Backend: b, Manifest: m,
+		Policy: *policy, Strategy: strat, CacheChunks: *cacheChunks,
+		Priority: opts.Value("priority", rebuild.PrioritySequential),
+	}
+	for _, bind := range []struct {
+		key string
+		dst *bool
+	}{
+		{"check-only", &cfg.CheckOnly}, {"dry-run", &cfg.DryRun},
+		{"scrub", &cfg.Scrub}, {"no-verify", &cfg.NoVerify},
+	} {
+		v, err := opts.Bool(bind.key)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		*bind.dst = v
+	}
+	if *progress {
+		cfg.Progress = func(p rebuild.Progress) {
+			fmt.Fprintf(stderr, " rebuild status : %3d%% complete (stripe %d, %d/%d stripes, %d chunks)\n",
+				p.Percent(), p.Stripe, p.StripesDone, p.StripesTotal, p.ChunksRebuilt)
+		}
+	}
+
+	res, err := rebuild.RunService(cfg)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	rep := res.Report
+	fmt.Fprintf(stdout, "        scan : %d lost chunks (%d missing, %d corrupt) in %d of %d stripes\n",
+		rep.LostChunks(), rep.MissingChunks, rep.CorruptChunks, len(rep.Stripes), m.Stripes)
+	switch {
+	case cfg.CheckOnly:
+		fmt.Fprintf(stdout, "  check-only : no repair attempted\n")
+		if !rep.Clean() {
+			return exitDamaged
+		}
+	case rep.Clean():
+		fmt.Fprintf(stdout, "       state : clean\n")
+	case cfg.DryRun:
+		fmt.Fprintf(stdout, "        plan : strategy=%s policy=%s cache=%d priority=%s\n",
+			strat, cfg.Policy, cfg.CacheChunks, cfg.Priority)
+		fmt.Fprintf(stdout, "     dry-run : would rebuild %d chunks reading %d distinct chunks\n",
+			res.PlannedChunks, res.PlannedReads)
+	default:
+		fmt.Fprintf(stdout, "        plan : strategy=%s policy=%s cache=%d priority=%s\n",
+			strat, cfg.Policy, cfg.CacheChunks, cfg.Priority)
+		fmt.Fprintf(stdout, "     rebuilt : %d chunks in %d stripes (%d verified, %d decoded)\n",
+			res.ChunksRebuilt, res.StripesRepaired, res.ChunksVerified, res.ChunksDecoded)
+		fmt.Fprintf(stdout, "          io : %d reads, %d cache hits, %d misses, %d B written\n",
+			res.DiskReads, res.CacheHits, res.CacheMisses, res.BytesWritten)
+		fmt.Fprintf(stdout, "      ladder : %d escalations, %d regenerations\n",
+			res.Escalations, res.Regenerations)
+		after, err := rebuild.ScanStore(b, m, cfg.Scrub)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		if after.Clean() {
+			fmt.Fprintf(stdout, "       state : clean\n")
+		} else {
+			fmt.Fprintf(stdout, "       state : degraded\n")
+		}
+	}
+	if res.DataLoss {
+		fmt.Fprintf(stdout, "        lost : %d chunks unrecoverable (data loss)\n", len(res.Lost))
+		return exitDamaged
+	}
+	return exitOK
+}

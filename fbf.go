@@ -24,6 +24,12 @@
 //     experiment harness regenerating the paper's Figures 8–11 and
 //     Tables IV–V.
 //
+// A fifth layer runs the same machinery against real bytes: a pluggable
+// chunk store (directory-per-disk, in-memory, object-style) and a
+// rebuild service that repairs killed disks on a filesystem,
+// oracle-checking every recovered chunk (§12 in DESIGN.md; cmd/fbfctl
+// is the operator front end).
+//
 // Quick start:
 //
 //	code, _ := fbf.NewCode("tip", 7)
@@ -45,6 +51,7 @@ import (
 	"fbf/internal/obs"
 	"fbf/internal/rebuild"
 	"fbf/internal/sim"
+	"fbf/internal/store"
 	"fbf/internal/trace"
 	"fbf/internal/verify"
 )
@@ -406,4 +413,48 @@ var (
 	// the fault-injection engine (URE escalations, cascading column
 	// failures, beyond-tolerance loss verdicts) against the gf2 oracle.
 	VerifyEscalatedRecovery = verify.SweepEscalations
+)
+
+// Storage engine (real bytes behind the simulator; see §12 in DESIGN.md).
+type (
+	// StoreBackend is the pluggable chunk-store contract the rebuild
+	// service runs against.
+	StoreBackend = store.Backend
+	// StoreAddr addresses one chunk as (disk, stripe, chunk).
+	StoreAddr = store.Addr
+	// StoreManifest describes an on-disk array: code, prime, geometry,
+	// chunk size.
+	StoreManifest = store.ArrayManifest
+	// DirStore is the directory-per-disk, file-per-chunk backend.
+	DirStore = store.Dir
+	// MemStore is the in-memory backend (tests, experiments).
+	MemStore = store.Mem
+	// RebuildConfig parameterizes one storage-engine rebuild.
+	RebuildConfig = rebuild.ServiceConfig
+	// RebuildResult aggregates one storage-engine rebuild.
+	RebuildResult = rebuild.ServiceResult
+	// RebuildProgress reports per-stripe completion during a rebuild.
+	RebuildProgress = rebuild.Progress
+	// StoreDamageReport is the outcome of a store scan.
+	StoreDamageReport = rebuild.DamageReport
+	// RecoveryOracle is the GF(2) decoder cross-check applied to every
+	// recovered chunk before it is written back.
+	RecoveryOracle = verify.Oracle
+)
+
+// Storage engine functions.
+var (
+	// OpenDirStore opens (creating if needed) a directory-backed store.
+	OpenDirStore = store.OpenDir
+	// NewMemStore builds an empty in-memory store.
+	NewMemStore = store.NewMem
+	// InitStore materializes a full deterministic array into a backend.
+	InitStore = rebuild.InitStore
+	// ScanStore assesses a store's damage against its manifest.
+	ScanStore = rebuild.ScanStore
+	// Rebuild scans and repairs a store through the scheme/cache/
+	// escalation machinery, oracle-checking every recovered chunk.
+	Rebuild = rebuild.RunService
+	// NewRecoveryOracle builds the decoder plan for one lost-cell set.
+	NewRecoveryOracle = verify.NewOracle
 )

@@ -109,3 +109,40 @@ func TestPublicAPITraceRoundTrip(t *testing.T) {
 		t.Fatal("round trip lost errors")
 	}
 }
+
+// TestPublicAPIStorageEngine exercises the storage-engine facade the
+// way the README's fbfctl quick-start does: init → kill a disk →
+// rebuild → verify, all through re-exported names.
+func TestPublicAPIStorageEngine(t *testing.T) {
+	m := fbf.StoreManifest{Code: "star", P: 5, Disks: 8, Rows: 4, Stripes: 2, ChunkSize: 64}
+	b := fbf.NewMemStore()
+	if err := fbf.InitStore(b, m, 7); err != nil {
+		t.Fatal(err)
+	}
+	addrs, err := b.List(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(addrs) != m.Rows*m.Stripes {
+		t.Fatalf("disk 3 holds %d chunks, want %d", len(addrs), m.Rows*m.Stripes)
+	}
+	for _, a := range addrs {
+		if err := b.Delete(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := fbf.Rebuild(fbf.RebuildConfig{Backend: b, Manifest: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DataLoss || res.ChunksRebuilt != m.Rows*m.Stripes || res.ChunksVerified != res.ChunksRebuilt {
+		t.Fatalf("rebuild through facade: %+v", res)
+	}
+	rep, err := fbf.ScanStore(b, m, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("store not clean after facade rebuild: %+v", rep)
+	}
+}

@@ -1,0 +1,109 @@
+package cli
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Options is a repeated `-o key[=value]` operator-option flag, the
+// rclone `backend ... -o option=value` convention: free-form switches a
+// subcommand interprets without growing one top-level flag per knob.
+// Register with flag.Var; each -o occurrence adds one option. A bare
+// key (no '=') holds the empty value and reads as a boolean switch.
+type Options struct {
+	order []string
+	vals  map[string]string
+}
+
+// Set implements flag.Value. Duplicate and empty keys are rejected so
+// typos fail loudly instead of silently winning or losing.
+func (o *Options) Set(s string) error {
+	key, val, _ := strings.Cut(s, "=")
+	key = strings.TrimSpace(key)
+	if key == "" {
+		return fmt.Errorf("cli: empty option key in -o %q", s)
+	}
+	if _, dup := o.vals[key]; dup {
+		return fmt.Errorf("cli: duplicate option %q", key)
+	}
+	if o.vals == nil {
+		o.vals = make(map[string]string)
+	}
+	o.vals[key] = val
+	o.order = append(o.order, key)
+	return nil
+}
+
+// String implements flag.Value, rendering options in the order given.
+func (o *Options) String() string {
+	if o == nil {
+		return ""
+	}
+	parts := make([]string, 0, len(o.order))
+	for _, k := range o.order {
+		if v := o.vals[k]; v != "" {
+			parts = append(parts, k+"="+v)
+		} else {
+			parts = append(parts, k)
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+// Has reports whether the option was given at all.
+func (o *Options) Has(key string) bool {
+	_, ok := o.vals[key]
+	return ok
+}
+
+// Get returns the option's value and whether it was given.
+func (o *Options) Get(key string) (string, bool) {
+	v, ok := o.vals[key]
+	return v, ok
+}
+
+// Value returns the option's value, or def when absent or bare.
+func (o *Options) Value(key, def string) string {
+	if v, ok := o.vals[key]; ok && v != "" {
+		return v
+	}
+	return def
+}
+
+// Bool reads the option as a switch: absent is false; bare, "true" and
+// "1" are true; "false" and "0" are false; anything else is an error.
+func (o *Options) Bool(key string) (bool, error) {
+	v, ok := o.vals[key]
+	if !ok {
+		return false, nil
+	}
+	switch v {
+	case "", "true", "1":
+		return true, nil
+	case "false", "0":
+		return false, nil
+	}
+	return false, fmt.Errorf("bad -o %s=%s: not a boolean (want true/false)", key, v)
+}
+
+// Keys returns the option keys in the order given.
+func (o *Options) Keys() []string { return append([]string(nil), o.order...) }
+
+// Unknown returns the given options not in the known set, sorted — the
+// caller turns a non-empty result into a usage error, so a misspelled
+// -o never silently no-ops.
+func (o *Options) Unknown(known ...string) []string {
+	set := make(map[string]bool, len(known))
+	for _, k := range known {
+		set[k] = true
+	}
+	var out []string
+	for _, k := range o.order {
+		if !set[k] {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,122 @@
+package cli
+
+import (
+	"flag"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestOptionsSetGet(t *testing.T) {
+	var o Options
+	for _, s := range []string{"check-only", "priority=vulnerable", "depth=3"} {
+		if err := o.Set(s); err != nil {
+			t.Fatalf("Set(%q): %v", s, err)
+		}
+	}
+	if !o.Has("check-only") || o.Has("dry-run") {
+		t.Error("Has is wrong")
+	}
+	if v, ok := o.Get("priority"); !ok || v != "vulnerable" {
+		t.Errorf("Get(priority) = %q, %v", v, ok)
+	}
+	if v, ok := o.Get("check-only"); !ok || v != "" {
+		t.Errorf("bare option Get = %q, %v", v, ok)
+	}
+	if got := o.Value("priority", "sequential"); got != "vulnerable" {
+		t.Errorf("Value = %q", got)
+	}
+	if got := o.Value("absent", "fallback"); got != "fallback" {
+		t.Errorf("Value default = %q", got)
+	}
+	if got := o.String(); got != "check-only,priority=vulnerable,depth=3" {
+		t.Errorf("String = %q", got)
+	}
+	if got := strings.Join(o.Keys(), " "); got != "check-only priority depth" {
+		t.Errorf("Keys = %q", got)
+	}
+}
+
+func TestOptionsBool(t *testing.T) {
+	var o Options
+	for _, s := range []string{"bare", "yes=true", "one=1", "no=false", "zero=0", "junk=maybe"} {
+		if err := o.Set(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cases := []struct {
+		key  string
+		want bool
+		err  bool
+	}{
+		{"bare", true, false}, {"yes", true, false}, {"one", true, false},
+		{"no", false, false}, {"zero", false, false},
+		{"absent", false, false},
+		{"junk", false, true},
+	}
+	for _, c := range cases {
+		got, err := o.Bool(c.key)
+		if (err != nil) != c.err || got != c.want {
+			t.Errorf("Bool(%q) = %v, %v; want %v, err=%v", c.key, got, err, c.want, c.err)
+		}
+	}
+	// Boolean errors follow the "bad -o key=value" convention.
+	if _, err := o.Bool("junk"); err == nil || !strings.Contains(err.Error(), "bad -o junk=maybe") {
+		t.Errorf("Bool error does not name the option: %v", err)
+	}
+}
+
+func TestOptionsRejections(t *testing.T) {
+	var o Options
+	if err := o.Set(""); err == nil {
+		t.Error("empty option accepted")
+	}
+	if err := o.Set("=value"); err == nil {
+		t.Error("empty key accepted")
+	}
+	if err := o.Set("k=1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Set("k=2"); err == nil {
+		t.Error("duplicate key accepted")
+	}
+}
+
+func TestOptionsUnknown(t *testing.T) {
+	var o Options
+	for _, s := range []string{"scrub", "priority=x", "chekc-only"} {
+		if err := o.Set(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := o.Unknown("check-only", "dry-run", "scrub", "priority")
+	if len(got) != 1 || got[0] != "chekc-only" {
+		t.Errorf("Unknown = %v, want [chekc-only]", got)
+	}
+	if rest := o.Unknown("scrub", "priority", "chekc-only"); len(rest) != 0 {
+		t.Errorf("Unknown = %v, want none", rest)
+	}
+}
+
+// TestOptionsAsFlagValue wires Options through a real flag.FlagSet the
+// way fbfctl does, pinning the repeated -o convention end to end.
+func TestOptionsAsFlagValue(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	var o Options
+	fs.Var(&o, "o", "operator option")
+	if err := fs.Parse([]string{"-o", "check-only", "-o", "priority=vulnerable"}); err != nil {
+		t.Fatal(err)
+	}
+	if !o.Has("check-only") || o.Value("priority", "") != "vulnerable" {
+		t.Errorf("parsed options: %v", o.String())
+	}
+	// A duplicate across separate -o flags must fail the parse itself.
+	fs2 := flag.NewFlagSet("x", flag.ContinueOnError)
+	fs2.SetOutput(io.Discard)
+	var o2 Options
+	fs2.Var(&o2, "o", "operator option")
+	if err := fs2.Parse([]string{"-o", "scrub", "-o", "scrub"}); err == nil {
+		t.Error("duplicate -o accepted by flag parse")
+	}
+}

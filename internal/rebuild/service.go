@@ -1,0 +1,698 @@
+// service.go promotes the simulator's data plane into a storage engine:
+// rebuild.Service drives the same scheme/cache/escalation machinery the
+// event-driven engine replays — core.RegenerateScheme chain selection,
+// cache.Policy residency with FBF priorities, the escalate-and-replan
+// ladder — against real bytes in a store.Backend, byte-checking every
+// recovered chunk with internal/verify's GF(2) oracle before it is
+// written back.
+package rebuild
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"fbf/internal/cache"
+	"fbf/internal/chunk"
+	"fbf/internal/codes"
+	"fbf/internal/core"
+	"fbf/internal/grid"
+	"fbf/internal/store"
+	"fbf/internal/verify"
+)
+
+// Service priority orders: which damaged stripes are repaired first.
+const (
+	// PrioritySequential repairs stripes in ascending index order — the
+	// mdadm-style default.
+	PrioritySequential = "sequential"
+	// PriorityVulnerable repairs the stripes with the most lost chunks
+	// first, shrinking the window in which a further failure causes
+	// data loss.
+	PriorityVulnerable = "vulnerable"
+)
+
+// Priorities lists the valid Service priority orders.
+func Priorities() []string { return []string{PrioritySequential, PriorityVulnerable} }
+
+// ServiceConfig parameterizes one storage-engine rebuild.
+type ServiceConfig struct {
+	Backend  store.Backend
+	Manifest store.ArrayManifest
+
+	Policy   string        // cache policy for surviving-chunk bytes (default "fbf")
+	Strategy core.Strategy // chain-selection strategy
+
+	// CacheChunks bounds the in-memory byte cache holding surviving
+	// chunks across chains (default 64). Zero keeps the default; a
+	// negative value disables caching entirely.
+	CacheChunks int
+
+	// CheckOnly scans and reports damage without planning or writing —
+	// `fbfctl rebuild -o check-only`.
+	CheckOnly bool
+	// DryRun scans and plans the full rebuild (schemes included) but
+	// performs no reads of chunk payloads and no writes.
+	DryRun bool
+	// Scrub makes the damage scan read and CRC-check every payload
+	// instead of trusting the cheap header Stat, catching silent
+	// payload bit-rot at scan time.
+	Scrub bool
+	// NoVerify skips the GF(2) oracle cross-check of recovered chunks.
+	NoVerify bool
+
+	// Priority selects the stripe repair order (PrioritySequential
+	// default, PriorityVulnerable).
+	Priority string
+
+	// Progress, when non-nil, is called after every repaired stripe —
+	// the hook fbfctl turns into mdadm-style percent-complete lines.
+	Progress func(Progress)
+}
+
+// Progress reports how far a rebuild has advanced.
+type Progress struct {
+	Stripe        int // stripe just repaired
+	StripesTotal  int // damaged stripes to repair
+	StripesDone   int
+	ChunksRebuilt int
+}
+
+// Percent returns completion as 0–100.
+func (p Progress) Percent() int {
+	if p.StripesTotal == 0 {
+		return 100
+	}
+	return 100 * p.StripesDone / p.StripesTotal
+}
+
+func (c *ServiceConfig) defaults() {
+	if c.Policy == "" {
+		c.Policy = "fbf"
+	}
+	if c.CacheChunks == 0 {
+		c.CacheChunks = 64
+	}
+	if c.Priority == "" {
+		c.Priority = PrioritySequential
+	}
+}
+
+func (c *ServiceConfig) validate() error {
+	if c.Backend == nil {
+		return &ConfigError{Field: "Backend", Reason: "nil backend"}
+	}
+	if err := c.Manifest.Validate(); err != nil {
+		return err
+	}
+	if _, err := cache.New(c.Policy, 0); err != nil {
+		return err
+	}
+	if c.CheckOnly && c.DryRun {
+		return &ConfigError{Field: "CheckOnly", Reason: "check-only and dry-run are mutually exclusive"}
+	}
+	switch c.Priority {
+	case PrioritySequential, PriorityVulnerable:
+	default:
+		return &ConfigError{Field: "Priority", Reason: fmt.Sprintf("unknown priority %q (have %s)", c.Priority, strings.Join(Priorities(), ", "))}
+	}
+	return nil
+}
+
+// ResolveCode constructs the manifest's erasure code and checks the
+// manifest dimensions against the code geometry, so a store initialized
+// under one prime cannot be silently rebuilt under another.
+func ResolveCode(m store.ArrayManifest) (*codes.Code, error) {
+	code, err := codes.New(m.Code, m.P)
+	if err != nil {
+		return nil, err
+	}
+	if code.Disks() != m.Disks || code.Rows() != m.Rows {
+		return nil, fmt.Errorf("rebuild: manifest says %dx%d (disks x rows), %v has %dx%d",
+			m.Disks, m.Rows, code, code.Disks(), code.Rows())
+	}
+	return code, nil
+}
+
+// AddrOf maps a stripe-local cell to its store address: the cell's
+// column is the disk, its row the chunk slot.
+func AddrOf(stripe int, cell grid.Coord) store.Addr {
+	return store.Addr{Disk: cell.Col, Stripe: stripe, Chunk: cell.Row}
+}
+
+// StripeSeed derives the data seed of one stripe from the store's base
+// seed — the convention InitStore writes with and tests recompute
+// ground truth from.
+func StripeSeed(base int64, stripe int) int64 { return base + int64(stripe) }
+
+// InitStore materializes a full, clean array into a backend: every
+// stripe's data chunks are filled deterministically from seed, parity
+// is encoded, and all chunks are written. The chunk buffers are pooled
+// and flow straight into the backend's file/object I/O.
+func InitStore(b store.Backend, m store.ArrayManifest, seed int64) error {
+	code, err := ResolveCode(m)
+	if err != nil {
+		return err
+	}
+	pool := chunk.NewPool(m.ChunkSize)
+	stripeBuf := make([]chunk.Chunk, code.Layout().Cells())
+	for i := range stripeBuf {
+		stripeBuf[i] = pool.GetRaw()
+	}
+	defer func() {
+		for _, c := range stripeBuf {
+			pool.Put(c)
+		}
+	}()
+	for s := 0; s < m.Stripes; s++ {
+		code.MaterializeStripeInto(stripeBuf, StripeSeed(seed, s))
+		for idx, c := range stripeBuf {
+			if err := b.WriteChunk(AddrOf(s, code.CoordOf(idx)), c); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// StripeDamage lists one stripe's unreadable cells.
+type StripeDamage struct {
+	Stripe  int
+	Missing []grid.Coord // absent chunks, sorted
+	Corrupt []grid.Coord // present but failing validation, sorted
+}
+
+// Lost merges missing and corrupt cells in sorted order.
+func (d *StripeDamage) Lost() []grid.Coord {
+	out := make([]grid.Coord, 0, len(d.Missing)+len(d.Corrupt))
+	out = append(out, d.Missing...)
+	out = append(out, d.Corrupt...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// DamageReport is the outcome of a store scan.
+type DamageReport struct {
+	Stripes []StripeDamage // damaged stripes, ascending index
+
+	MissingChunks int
+	CorruptChunks int
+
+	// PerDiskPresent counts readable chunks per disk; FailedDisks lists
+	// disks with nothing present at all (the killed-directory state).
+	PerDiskPresent []int
+	FailedDisks    []int
+
+	// ExtraChunks are addresses present in the store but outside the
+	// manifest geometry — reported, never touched.
+	ExtraChunks []store.Addr
+}
+
+// Clean reports an undamaged store.
+func (r *DamageReport) Clean() bool { return r.MissingChunks == 0 && r.CorruptChunks == 0 }
+
+// LostChunks returns the total unreadable chunks.
+func (r *DamageReport) LostChunks() int { return r.MissingChunks + r.CorruptChunks }
+
+// ScanStore assesses a store against its manifest: every in-geometry
+// address is checked for presence and validity (Stat's header check by
+// default; full payload CRC reads with scrub) and grouped into
+// per-stripe damage.
+func ScanStore(b store.Backend, m store.ArrayManifest, scrub bool) (*DamageReport, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	report := &DamageReport{PerDiskPresent: make([]int, m.Disks)}
+	perStripe := make(map[int]*StripeDamage)
+	damage := func(stripe int, cell grid.Coord, corrupt bool) {
+		d := perStripe[stripe]
+		if d == nil {
+			d = &StripeDamage{Stripe: stripe}
+			perStripe[stripe] = d
+		}
+		if corrupt {
+			d.Corrupt = append(d.Corrupt, cell)
+			report.CorruptChunks++
+		} else {
+			d.Missing = append(d.Missing, cell)
+			report.MissingChunks++
+		}
+	}
+	var buf chunk.Chunk
+	if scrub {
+		buf = chunk.New(m.ChunkSize)
+	}
+	for disk := 0; disk < m.Disks; disk++ {
+		addrs, err := b.List(disk)
+		if err != nil {
+			return nil, err
+		}
+		present := make(map[store.Addr]bool, len(addrs))
+		for _, a := range addrs {
+			if a.Stripe >= m.Stripes || a.Chunk >= m.Rows {
+				report.ExtraChunks = append(report.ExtraChunks, a)
+				continue
+			}
+			present[a] = true
+		}
+		for stripe := 0; stripe < m.Stripes; stripe++ {
+			for row := 0; row < m.Rows; row++ {
+				cell := grid.Coord{Row: row, Col: disk}
+				a := AddrOf(stripe, cell)
+				if !present[a] {
+					damage(stripe, cell, false)
+					continue
+				}
+				var err error
+				var size int
+				if scrub {
+					size, err = b.ReadChunk(a, buf)
+				} else {
+					var info store.Info
+					info, err = b.Stat(a)
+					size = info.Size
+				}
+				switch {
+				case store.IsCorrupt(err):
+					damage(stripe, cell, true)
+				case store.IsNotFound(err):
+					damage(stripe, cell, false)
+				case err != nil:
+					return nil, err
+				case size != m.ChunkSize:
+					// Valid codec, wrong array: a chunk of another
+					// store's geometry cannot serve reads here.
+					damage(stripe, cell, true)
+				default:
+					report.PerDiskPresent[disk]++
+				}
+			}
+		}
+		if report.PerDiskPresent[disk] == 0 && m.Stripes*m.Rows > 0 {
+			report.FailedDisks = append(report.FailedDisks, disk)
+		}
+	}
+	for _, d := range perStripe {
+		sort.Slice(d.Missing, func(i, j int) bool { return d.Missing[i].Less(d.Missing[j]) })
+		sort.Slice(d.Corrupt, func(i, j int) bool { return d.Corrupt[i].Less(d.Corrupt[j]) })
+		report.Stripes = append(report.Stripes, *d)
+	}
+	sort.Slice(report.Stripes, func(i, j int) bool { return report.Stripes[i].Stripe < report.Stripes[j].Stripe })
+	sort.Slice(report.ExtraChunks, func(i, j int) bool { return report.ExtraChunks[i].Less(report.ExtraChunks[j]) })
+	return report, nil
+}
+
+// ServiceResult aggregates one service run.
+type ServiceResult struct {
+	Report *DamageReport
+
+	StripesRepaired int
+	ChunksRebuilt   int
+	ChunksVerified  int // oracle cross-checks that passed
+	ChunksDecoded   int // rebuilt via the GF(2) decoder fallback rather than a single chain
+
+	// Planned work (populated by DryRun instead of the executed
+	// counters above).
+	PlannedChunks int // chunks a rebuild would write
+	PlannedReads  int // distinct source chunks it would read
+
+	DiskReads   uint64 // backend payload reads during repair
+	VerifyReads uint64 // extra backend reads by the oracle cross-check
+	CacheHits   uint64
+	CacheMisses uint64
+
+	Escalations   int // surviving chunks found unreadable mid-chain
+	Regenerations int // schemes regenerated after an escalation
+
+	// Data loss: cells even the decoder could not solve.
+	DataLoss bool
+	Lost     []store.Addr
+
+	BytesWritten int64
+}
+
+// RunService scans the store and repairs every damaged stripe through
+// the scheme/cache/escalation machinery, byte-checking recovered chunks
+// against the GF(2) oracle before writing them back. CheckOnly stops
+// after the scan; DryRun stops after planning. Unsolvable cells are
+// accounted as data loss, not an error — errors mean the engine itself
+// could not proceed (I/O failures, bad configuration).
+func RunService(cfg ServiceConfig) (*ServiceResult, error) {
+	cfg.defaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	code, err := ResolveCode(cfg.Manifest)
+	if err != nil {
+		return nil, err
+	}
+	report, err := ScanStore(cfg.Backend, cfg.Manifest, cfg.Scrub)
+	if err != nil {
+		return nil, err
+	}
+	res := &ServiceResult{Report: report}
+	if cfg.CheckOnly || report.Clean() {
+		return res, nil
+	}
+
+	s := &service{cfg: &cfg, code: code, res: res, pool: chunk.NewPool(cfg.Manifest.ChunkSize)}
+	if cfg.CacheChunks > 0 {
+		s.policy, err = cache.New(cfg.Policy, cfg.CacheChunks)
+		if err != nil {
+			return nil, err
+		}
+		s.bufs = make(map[cache.ChunkID]chunk.Chunk, cfg.CacheChunks)
+	}
+
+	order := append([]StripeDamage(nil), report.Stripes...)
+	if cfg.Priority == PriorityVulnerable {
+		sort.SliceStable(order, func(i, j int) bool {
+			li, lj := len(order[i].Missing)+len(order[i].Corrupt), len(order[j].Missing)+len(order[j].Corrupt)
+			if li != lj {
+				return li > lj
+			}
+			return order[i].Stripe < order[j].Stripe
+		})
+	}
+	for _, d := range order {
+		if err := s.repairStripe(d); err != nil {
+			return nil, err
+		}
+		res.StripesRepaired++
+		if cfg.Progress != nil {
+			cfg.Progress(Progress{Stripe: d.Stripe, StripesTotal: len(order), StripesDone: res.StripesRepaired, ChunksRebuilt: res.ChunksRebuilt})
+		}
+	}
+	if s.policy != nil {
+		st := s.policy.Stats()
+		res.CacheHits, res.CacheMisses = st.Hits, st.Misses
+	}
+	res.DataLoss = len(res.Lost) > 0
+	return res, nil
+}
+
+// service is the run state of one RunService call.
+type service struct {
+	cfg  *ServiceConfig
+	code *codes.Code
+	res  *ServiceResult
+	pool *chunk.Pool
+
+	// Byte cache: the policy decides residency (with FBF priorities
+	// from each scheme), bufs mirrors its resident set with the actual
+	// bytes. nil policy disables caching.
+	policy cache.Policy
+	bufs   map[cache.ChunkID]chunk.Chunk
+
+	// Scheme and oracle memoization: killed whole disks damage every
+	// stripe with the same cell pattern, so the (expensive) chain
+	// selection and decoder elimination are shared across stripes.
+	schemes map[string]*schemePlan
+}
+
+// schemePlan caches one lost-cell pattern's generated scheme, its
+// unsolvable cells, and the matching oracle.
+type schemePlan struct {
+	scheme   *core.Scheme
+	unsolved []grid.Coord
+	oracle   *verify.Oracle
+}
+
+func lostKey(lost []grid.Coord) string {
+	var b strings.Builder
+	for _, c := range lost {
+		fmt.Fprintf(&b, "%d,%d;", c.Row, c.Col)
+	}
+	return b.String()
+}
+
+// planFor generates (or recalls) the recovery scheme for one sorted
+// lost-cell pattern. The synthetic PartialStripeError only carries
+// stripe/cell bookkeeping into the Scheme; RegenerateScheme does not
+// re-validate it, which is exactly what lets the service repair
+// multi-disk and whole-column damage a plain partial-stripe error
+// cannot describe.
+func (s *service) planFor(stripe int, lost []grid.Coord) (*schemePlan, error) {
+	key := lostKey(lost)
+	if p, ok := s.schemes[key]; ok {
+		return p, nil
+	}
+	e := core.PartialStripeError{Stripe: stripe, Disk: lost[0].Col, Row: lost[0].Row, Size: len(lost)}
+	scheme, unsolved, err := core.RegenerateScheme(s.code, e, lost, nil, s.cfg.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	oracle, err := verify.NewOracle(s.code, lost)
+	if err != nil {
+		return nil, err
+	}
+	p := &schemePlan{scheme: scheme, unsolved: unsolved, oracle: oracle}
+	if s.schemes == nil {
+		s.schemes = make(map[string]*schemePlan)
+	}
+	s.schemes[key] = p
+	return p, nil
+}
+
+// repairStripe rebuilds one damaged stripe: plan, replay each selected
+// chain through the byte cache, oracle-check, write back — escalating
+// and re-planning when a surviving chunk turns out unreadable, exactly
+// like the simulator's fault ladder.
+func (s *service) repairStripe(d StripeDamage) error {
+	lost := d.Lost()
+	plan, err := s.planFor(d.Stripe, lost)
+	if err != nil {
+		return err
+	}
+	if s.cfg.DryRun {
+		s.res.PlannedChunks += len(plan.scheme.Selected)
+		s.res.PlannedReads += plan.scheme.UniqueFetches()
+		for _, c := range plan.unsolved {
+			s.loseCell(d.Stripe, c)
+		}
+		return nil
+	}
+	for _, c := range plan.unsolved {
+		s.loseCell(d.Stripe, c)
+	}
+
+	scheme, oracle := plan.scheme, plan.oracle
+	if pa, ok := s.policy.(cache.PriorityAware); ok && s.policy != nil {
+		pa.SetPriorities(prioritiesFor(scheme, d.Stripe))
+	}
+	if fa, ok := s.policy.(cache.FutureAware); ok && s.policy != nil {
+		fa.SetFuture(requestsFor(scheme, d.Stripe))
+	}
+
+	repaired := make(map[grid.Coord]bool)
+	acc := s.pool.GetRaw()
+	defer s.pool.Put(acc)
+	// The escalation loop: a failed source read escalates that cell to
+	// lost and regenerates the plan for whatever is still unrepaired.
+	// Every escalation strictly grows the lost set, so the loop is
+	// bounded by the stripe's cell count.
+	for attempt := 0; attempt <= s.code.Layout().Cells(); attempt++ {
+		esc, err := s.replayChains(d.Stripe, scheme, oracle, repaired, acc)
+		if err != nil {
+			return err
+		}
+		if esc == nil {
+			return nil
+		}
+		// Escalate: the cell joins the lost set; regenerate for the
+		// cells still needing repair (unsolved ones are lost).
+		s.res.Escalations++
+		if inv, ok := s.policy.(cache.Invalidator); ok && s.policy != nil {
+			if id := (cache.ChunkID{Stripe: d.Stripe, Cell: *esc}); inv.Invalidate(id) {
+				s.dropBuf(id)
+			}
+		}
+		lost = mergeCell(lost, *esc)
+		var remaining []grid.Coord
+		for _, c := range lost {
+			if !repaired[c] {
+				remaining = append(remaining, c)
+			}
+		}
+		plan, err = s.planFor(d.Stripe, remaining)
+		if err != nil {
+			return err
+		}
+		s.res.Regenerations++
+		scheme, oracle = plan.scheme, plan.oracle
+		for _, c := range plan.unsolved {
+			s.loseCell(d.Stripe, c)
+		}
+	}
+	return fmt.Errorf("rebuild: stripe %d: escalation loop did not terminate", d.Stripe)
+}
+
+// replayChains executes the scheme's selected chains in order. It
+// returns a non-nil cell when a source read failed and the caller must
+// escalate, nil when the stripe's solvable cells are all repaired.
+func (s *service) replayChains(stripe int, scheme *core.Scheme, oracle *verify.Oracle, repaired map[grid.Coord]bool, acc chunk.Chunk) (*grid.Coord, error) {
+	lostSet := make(map[grid.Coord]bool)
+	for _, a := range s.res.Lost {
+		if a.Stripe == stripe {
+			lostSet[grid.Coord{Row: a.Chunk, Col: a.Disk}] = true
+		}
+	}
+	for _, sel := range scheme.Selected {
+		if repaired[sel.Lost] || lostSet[sel.Lost] {
+			continue
+		}
+		if len(sel.Fetch) == 0 {
+			clear(acc)
+		}
+		for i, cell := range sel.Fetch {
+			err := s.fetchInto(stripe, cell, acc, i == 0)
+			if err == nil {
+				continue
+			}
+			if store.IsNotFound(err) || store.IsCorrupt(err) {
+				// A chunk the scan believed healthy is unreadable —
+				// the real-bytes analogue of a URE mid-rebuild.
+				cell := cell
+				return &cell, nil
+			}
+			return nil, err
+		}
+		if !s.cfg.NoVerify {
+			if err := s.oracleCheck(stripe, oracle, sel.Lost, acc); err != nil {
+				return nil, err
+			}
+			s.res.ChunksVerified++
+		}
+		if err := s.cfg.Backend.WriteChunk(AddrOf(stripe, sel.Lost), acc); err != nil {
+			return nil, err
+		}
+		s.res.BytesWritten += int64(len(acc))
+		s.res.ChunksRebuilt++
+		if sel.Decoded {
+			s.res.ChunksDecoded++
+		}
+		repaired[sel.Lost] = true
+	}
+	return nil, nil
+}
+
+// oracleCheck re-derives the recovered cell through the GF(2) decoder
+// plan, reading every source chunk directly from the backend (not the
+// cache), and diffs the two reconstructions.
+func (s *service) oracleCheck(stripe int, oracle *verify.Oracle, cell grid.Coord, recovered chunk.Chunk) error {
+	buf := s.pool.GetRaw()
+	defer s.pool.Put(buf)
+	return oracle.Check(cell, recovered, func(src grid.Coord, dst chunk.Chunk) error {
+		n, err := s.cfg.Backend.ReadChunk(AddrOf(stripe, src), dst)
+		if err != nil {
+			return err
+		}
+		if n != len(dst) {
+			return fmt.Errorf("rebuild: oracle read %v: %d bytes, want %d", src, n, len(dst))
+		}
+		s.res.VerifyReads++
+		return nil
+	})
+}
+
+// fetchInto reads one source cell's bytes — from the byte cache on a
+// hit, from the backend on a miss — and folds them into the XOR
+// accumulator (copy for the chain's first member, XOR for the rest).
+// Miss fetches use pooled buffers that flow directly into backend I/O;
+// a buffer is kept only while the policy keeps the chunk resident.
+func (s *service) fetchInto(stripe int, cell grid.Coord, acc chunk.Chunk, first bool) error {
+	id := cache.ChunkID{Stripe: stripe, Cell: cell}
+	if s.policy != nil && s.policy.Request(id) {
+		if buf, ok := s.bufs[id]; ok {
+			fold(acc, buf, first)
+			return nil
+		}
+		// Residency without bytes would be a bookkeeping bug; fail
+		// loudly rather than reading stale data.
+		return fmt.Errorf("rebuild: cache hit for %v with no buffered bytes", id)
+	}
+	buf := s.pool.GetRaw()
+	n, err := s.cfg.Backend.ReadChunk(AddrOf(stripe, cell), buf)
+	if err != nil {
+		s.pool.Put(buf)
+		return err
+	}
+	if n != s.cfg.Manifest.ChunkSize {
+		s.pool.Put(buf)
+		return &store.CorruptError{Addr: AddrOf(stripe, cell), Err: fmt.Errorf("payload is %d bytes, manifest says %d", n, s.cfg.Manifest.ChunkSize)}
+	}
+	s.res.DiskReads++
+	fold(acc, buf, first)
+	if s.policy != nil && s.policy.Contains(id) {
+		s.bufs[id] = buf
+		s.reconcile()
+	} else {
+		s.pool.Put(buf)
+	}
+	return nil
+}
+
+// reconcile drops buffered bytes for chunks the policy has evicted,
+// returning their buffers to the pool. O(resident), called per
+// admission — the byte map exactly mirrors policy residency.
+func (s *service) reconcile() {
+	for id, buf := range s.bufs {
+		if !s.policy.Contains(id) {
+			s.pool.Put(buf)
+			delete(s.bufs, id)
+		}
+	}
+}
+
+func (s *service) dropBuf(id cache.ChunkID) {
+	if buf, ok := s.bufs[id]; ok {
+		s.pool.Put(buf)
+		delete(s.bufs, id)
+	}
+}
+
+func (s *service) loseCell(stripe int, c grid.Coord) {
+	a := AddrOf(stripe, c)
+	for _, have := range s.res.Lost {
+		if have == a {
+			return
+		}
+	}
+	s.res.Lost = append(s.res.Lost, a)
+}
+
+func fold(acc, src chunk.Chunk, first bool) {
+	if first {
+		copy(acc, src)
+		return
+	}
+	chunk.XORInto(acc, src)
+}
+
+func mergeCell(lost []grid.Coord, c grid.Coord) []grid.Coord {
+	for _, have := range lost {
+		if have == c {
+			return lost
+		}
+	}
+	lost = append(lost, c)
+	sort.Slice(lost, func(i, j int) bool { return lost[i].Less(lost[j]) })
+	return lost
+}
+
+func prioritiesFor(scheme *core.Scheme, stripe int) map[cache.ChunkID]int {
+	out := make(map[cache.ChunkID]int, len(scheme.Priorities))
+	for cell, pr := range scheme.Priorities {
+		out[cache.ChunkID{Stripe: stripe, Cell: cell}] = pr
+	}
+	return out
+}
+
+func requestsFor(scheme *core.Scheme, stripe int) []cache.ChunkID {
+	reqs := scheme.Requests()
+	out := make([]cache.ChunkID, len(reqs))
+	for i, r := range reqs {
+		out[i] = cache.ChunkID{Stripe: stripe, Cell: r}
+	}
+	return out
+}

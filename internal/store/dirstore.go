@@ -1,0 +1,226 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Layout naming shared by Dir and Obj: one "disk-NNN" namespace per
+// disk, one "sSSSSSSSS-cCCC.chk" entry per chunk. The zero-padding
+// keeps lexicographic order equal to numeric order, so a plain
+// directory or key listing is already in List's contract order.
+
+// DiskDirName returns the directory/prefix name for one disk.
+func DiskDirName(disk int) string { return fmt.Sprintf("disk-%03d", disk) }
+
+// chunkFileName returns the file/object name for one chunk within its
+// disk directory.
+func chunkFileName(a Addr) string { return fmt.Sprintf("s%08d-c%03d.chk", a.Stripe, a.Chunk) }
+
+// ChunkPath returns the chunk's path relative to the store root —
+// dirstore's on-disk layout and the object backend's key space share
+// it. Exposed for tooling and tests that reach past the Backend
+// interface (fault injection, corruption drills).
+func ChunkPath(a Addr) string { return DiskDirName(a.Disk) + "/" + chunkFileName(a) }
+
+// parseChunkFileName inverts chunkFileName, rejecting anything that is
+// not exactly a chunk file (so stray files in a disk directory are
+// ignored rather than misread).
+func parseChunkFileName(disk int, name string) (Addr, bool) {
+	rest, ok := strings.CutSuffix(name, ".chk")
+	if !ok {
+		return Addr{}, false
+	}
+	s, c, ok := strings.Cut(rest, "-")
+	if !ok || len(s) < 2 || len(c) < 2 || s[0] != 's' || c[0] != 'c' {
+		return Addr{}, false
+	}
+	stripe, ok := parseDigits(s[1:])
+	if !ok {
+		return Addr{}, false
+	}
+	chunkRow, ok := parseDigits(c[1:])
+	if !ok {
+		return Addr{}, false
+	}
+	return Addr{Disk: disk, Stripe: stripe, Chunk: chunkRow}, true
+}
+
+// parseDigits parses a non-negative decimal integer, rejecting signs,
+// spaces and any other syntax strconv would tolerate.
+func parseDigits(s string) (int, bool) {
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return 0, false
+		}
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// Dir is the directory-backed chunk store: one directory per disk under
+// a root, one self-describing chunk file per chunk (header + payload,
+// see manifest.go). Writes go through a temp file and rename, so a
+// reader sees either the old chunk or the new one.
+//
+// Dir methods are safe for concurrent use; concurrency control is the
+// filesystem's.
+type Dir struct {
+	root string
+}
+
+// OpenDir opens (creating if necessary) a directory store rooted at
+// root.
+func OpenDir(root string) (*Dir, error) {
+	if root == "" {
+		return nil, fmt.Errorf("store: empty dirstore root")
+	}
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating root: %w", err)
+	}
+	return &Dir{root: root}, nil
+}
+
+// Root returns the store's root directory.
+func (d *Dir) Root() string { return d.root }
+
+func (d *Dir) chunkPath(a Addr) string {
+	return filepath.Join(d.root, DiskDirName(a.Disk), chunkFileName(a))
+}
+
+// ReadChunk implements Backend.
+func (d *Dir) ReadChunk(a Addr, dst []byte) (int, error) {
+	if !a.Valid() {
+		return 0, &NotFoundError{Addr: a}
+	}
+	data, err := os.ReadFile(d.chunkPath(a))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return 0, &NotFoundError{Addr: a}
+		}
+		return 0, fmt.Errorf("store: reading %v: %w", a, err)
+	}
+	_, payload, err := DecodeChunk(data, a)
+	if err != nil {
+		return 0, &CorruptError{Addr: a, Err: err}
+	}
+	if len(dst) < len(payload) {
+		return 0, fmt.Errorf("store: %v: destination buffer %d bytes, chunk payload %d", a, len(dst), len(payload))
+	}
+	return copy(dst, payload), nil
+}
+
+// WriteChunk implements Backend.
+func (d *Dir) WriteChunk(a Addr, data []byte) error {
+	if !a.Valid() {
+		return fmt.Errorf("store: invalid address %v", a)
+	}
+	dir := filepath.Join(d.root, DiskDirName(a.Disk))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("store: creating disk directory: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, ".tmp-chunk-*")
+	if err != nil {
+		return fmt.Errorf("store: writing %v: %w", a, err)
+	}
+	encoded := EncodeChunk(a, data)
+	if _, err := tmp.Write(encoded); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: writing %v: %w", a, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: writing %v: %w", a, err)
+	}
+	if err := os.Rename(tmp.Name(), d.chunkPath(a)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: writing %v: %w", a, err)
+	}
+	return nil
+}
+
+// Delete implements Backend.
+func (d *Dir) Delete(a Addr) error {
+	if !a.Valid() {
+		return &NotFoundError{Addr: a}
+	}
+	err := os.Remove(d.chunkPath(a))
+	if errors.Is(err, fs.ErrNotExist) {
+		return &NotFoundError{Addr: a}
+	}
+	return err
+}
+
+// List implements Backend. A missing disk directory (the "disk died"
+// state the rebuild service scans for) lists as empty.
+func (d *Dir) List(disk int) ([]Addr, error) {
+	entries, err := os.ReadDir(filepath.Join(d.root, DiskDirName(disk)))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: listing disk %d: %w", disk, err)
+	}
+	var out []Addr
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if a, ok := parseChunkFileName(disk, e.Name()); ok {
+			out = append(out, a)
+		}
+	}
+	// ReadDir sorts by name and the zero-padded names sort numerically,
+	// but re-sorting keeps the contract independent of the encoding.
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out, nil
+}
+
+// Stat implements Backend: it reads and validates only the header, plus
+// the file size against the header's declared payload length, so a
+// truncated or grown chunk stats as corrupt without reading its
+// payload. (Payload bit-rot needs a full read — the rebuild service's
+// scrub pass.)
+func (d *Dir) Stat(a Addr) (Info, error) {
+	if !a.Valid() {
+		return Info{}, &NotFoundError{Addr: a}
+	}
+	f, err := os.Open(d.chunkPath(a))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return Info{}, &NotFoundError{Addr: a}
+		}
+		return Info{}, fmt.Errorf("store: stat %v: %w", a, err)
+	}
+	defer f.Close()
+	var hdr [HeaderSize]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return Info{}, &CorruptError{Addr: a, Err: fmt.Errorf("%w: header is shorter than %d bytes", ErrTruncated, HeaderSize)}
+	}
+	h, err := DecodeHeader(hdr[:])
+	if err != nil {
+		return Info{}, &CorruptError{Addr: a, Err: err}
+	}
+	if h.Addr != a {
+		return Info{}, &CorruptError{Addr: a, Err: fmt.Errorf("%w: chunk stored as %v, addressed as %v", ErrAddrMismatch, h.Addr, a)}
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		return Info{}, fmt.Errorf("store: stat %v: %w", a, err)
+	}
+	if fi.Size() != int64(HeaderSize+h.Length) {
+		return Info{}, &CorruptError{Addr: a, Err: fmt.Errorf("%w: file is %d bytes, header declares %d", ErrTruncated, fi.Size(), HeaderSize+h.Length)}
+	}
+	return Info{Addr: a, Size: h.Length}, nil
+}

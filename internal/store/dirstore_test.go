@@ -1,0 +1,179 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// openDirT opens a dirstore in a fresh temp dir with one chunk written.
+func openDirT(t *testing.T) (*Dir, Addr, []byte) {
+	t.Helper()
+	d, err := OpenDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Addr{Disk: 1, Stripe: 4, Chunk: 2}
+	p := payload(a, 512)
+	if err := d.WriteChunk(a, p); err != nil {
+		t.Fatal(err)
+	}
+	return d, a, p
+}
+
+// TestDirCorruptionTaxonomy damages the on-disk chunk file in every way
+// the codec distinguishes and asserts each reads back as ErrCorrupt
+// with the right codec-level cause.
+func TestDirCorruptionTaxonomy(t *testing.T) {
+	damage := []struct {
+		name  string
+		mutil func(t *testing.T, path string)
+		cause error
+		stat  bool // Dir.Stat must also detect it (header-only check)
+	}{
+		{"payload-bit-flip", func(t *testing.T, path string) {
+			flipByte(t, path, HeaderSize+100)
+		}, ErrChecksum, false},
+		{"header-bit-flip", func(t *testing.T, path string) {
+			flipByte(t, path, 9) // inside the disk field, breaks the header CRC
+		}, ErrChecksum, true},
+		{"bad-magic", func(t *testing.T, path string) {
+			flipByte(t, path, 0)
+		}, ErrBadMagic, true},
+		{"truncated-header", func(t *testing.T, path string) {
+			truncateTo(t, path, HeaderSize-4)
+		}, ErrTruncated, true},
+		{"truncated-payload", func(t *testing.T, path string) {
+			truncateTo(t, path, HeaderSize+17)
+		}, ErrTruncated, true},
+		{"trailing-garbage", func(t *testing.T, path string) {
+			f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Write([]byte("junk")); err != nil {
+				t.Fatal(err)
+			}
+			f.Close()
+		}, ErrTruncated, true},
+		{"misdirected-write", func(t *testing.T, path string) {
+			// A chunk validly written for a different address, copied
+			// over this one (e.g. a fat-fingered file move).
+			other := Addr{Disk: 7, Stripe: 7, Chunk: 0}
+			if err := os.WriteFile(path, EncodeChunk(other, payload(other, 512)), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}, ErrAddrMismatch, true},
+		{"version-skew", func(t *testing.T, path string) {
+			rewriteVersion(t, path, 2)
+		}, ErrVersion, true},
+	}
+	for _, c := range damage {
+		t.Run(c.name, func(t *testing.T) {
+			d, a, _ := openDirT(t)
+			c.mutil(t, d.chunkPath(a))
+			_, err := d.ReadChunk(a, make([]byte, 512))
+			if !IsCorrupt(err) {
+				t.Fatalf("ReadChunk = %v, want ErrCorrupt", err)
+			}
+			if !errors.Is(err, c.cause) {
+				t.Errorf("ReadChunk cause = %v, want %v", err, c.cause)
+			}
+			if IsNotFound(err) {
+				t.Errorf("corrupt chunk also matches ErrNotFound: %v", err)
+			}
+			if _, err := d.Stat(a); c.stat != IsCorrupt(err) {
+				t.Errorf("Stat = %v, want corrupt=%v", err, c.stat)
+			}
+		})
+	}
+}
+
+// TestDirIgnoresStrayFiles pins that non-chunk files in a disk
+// directory are invisible to List rather than misparsed.
+func TestDirIgnoresStrayFiles(t *testing.T) {
+	d, a, _ := openDirT(t)
+	dir := filepath.Dir(d.chunkPath(a))
+	for _, name := range []string{"README", "s0001-c1.bak", "sX0000001-c001.chk", ".tmp-chunk-12345"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := d.List(a.Disk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != a {
+		t.Fatalf("List = %v, want exactly [%v]", got, a)
+	}
+}
+
+// TestDirKilledDisk pins the scan-side view of the e2e failure mode:
+// removing a whole disk directory lists as empty, and each chunk reads
+// as ErrNotFound.
+func TestDirKilledDisk(t *testing.T) {
+	d, a, _ := openDirT(t)
+	if err := os.RemoveAll(filepath.Join(d.Root(), DiskDirName(a.Disk))); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.List(a.Disk)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("List(killed disk) = %v, %v; want empty, nil", got, err)
+	}
+	if _, err := d.ReadChunk(a, make([]byte, 512)); !IsNotFound(err) {
+		t.Fatalf("ReadChunk(killed disk) = %v, want ErrNotFound", err)
+	}
+}
+
+func TestParseChunkFileNameRoundTrip(t *testing.T) {
+	for _, a := range []Addr{{0, 0, 0}, {3, 12, 5}, {1, 99999999, 999}, {2, 123456789, 1234}} {
+		got, ok := parseChunkFileName(a.Disk, chunkFileName(a))
+		if !ok || got != a {
+			t.Errorf("round trip %v -> %q -> %v, ok=%v", a, chunkFileName(a), got, ok)
+		}
+	}
+	for _, name := range []string{"", "s1-c1", "s1c1.chk", "s-1-c1.chk", "s+1-c01.chk", "s 1-c1.chk", "x00000001-c001.chk", "s00000001-x001.chk"} {
+		if a, ok := parseChunkFileName(0, name); ok {
+			t.Errorf("parseChunkFileName(%q) accepted as %v", name, a)
+		}
+	}
+}
+
+func flipByte(t *testing.T, path string, off int) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off >= len(data) {
+		t.Fatalf("offset %d beyond file size %d", off, len(data))
+	}
+	data[off] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func truncateTo(t *testing.T, path string, size int) {
+	t.Helper()
+	if err := os.Truncate(path, int64(size)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// rewriteVersion rewrites the header's version field and re-seals the
+// header CRC, simulating a chunk written by a future codec version.
+func rewriteVersion(t *testing.T, path string, version uint16) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[4] = byte(version)
+	data[5] = byte(version >> 8)
+	resealHeader(data)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

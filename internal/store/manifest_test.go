@@ -1,0 +1,139 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"strings"
+	"testing"
+)
+
+// resealHeader recomputes the header CRC after a test mutates header
+// fields, so the mutation is seen as a (valid) different header rather
+// than a checksum failure.
+func resealHeader(b []byte) {
+	binary.LittleEndian.PutUint32(b[28:32], crc32.Checksum(b[:28], castagnoli))
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	a := Addr{Disk: 3, Stripe: 123456, Chunk: 7}
+	p := payload(a, 333)
+	enc := EncodeChunk(a, p)
+	if len(enc) != HeaderSize+len(p) {
+		t.Fatalf("encoded size %d, want %d", len(enc), HeaderSize+len(p))
+	}
+	h, got, err := DecodeChunk(enc, a)
+	if err != nil {
+		t.Fatalf("DecodeChunk: %v", err)
+	}
+	if h.Version != HeaderVersion || h.Addr != a || h.Length != len(p) {
+		t.Fatalf("decoded header %+v", h)
+	}
+	if string(got) != string(p) {
+		t.Fatal("payload does not round-trip")
+	}
+}
+
+func TestHeaderZeroLengthPayload(t *testing.T) {
+	a := Addr{Disk: 0, Stripe: 0, Chunk: 0}
+	enc := EncodeChunk(a, nil)
+	if _, p, err := DecodeChunk(enc, a); err != nil || len(p) != 0 {
+		t.Fatalf("zero-length chunk: %v, payload %d bytes", err, len(p))
+	}
+}
+
+func TestDecodeHeaderTaxonomy(t *testing.T) {
+	a := Addr{Disk: 1, Stripe: 2, Chunk: 3}
+	valid := EncodeChunk(a, payload(a, 64))
+
+	mutate := func(f func(b []byte)) []byte {
+		b := append([]byte(nil), valid...)
+		f(b)
+		return b
+	}
+	cases := []struct {
+		name string
+		in   []byte
+		want error
+	}{
+		{"empty", nil, ErrTruncated},
+		{"short-header", valid[:HeaderSize-1], ErrTruncated},
+		{"bad-magic", mutate(func(b []byte) { b[2] = 'X' }), ErrBadMagic},
+		{"flipped-length", mutate(func(b []byte) { b[20] ^= 0xFF }), ErrChecksum},
+		{"flipped-crc", mutate(func(b []byte) { b[30] ^= 0x01 }), ErrChecksum},
+		{"version-skew", mutate(func(b []byte) {
+			binary.LittleEndian.PutUint16(b[4:6], 99)
+			resealHeader(b)
+		}), ErrVersion},
+		{"reserved-set", mutate(func(b []byte) {
+			b[6] = 1
+			resealHeader(b)
+		}), ErrChecksum},
+		{"oversize-length", mutate(func(b []byte) {
+			binary.LittleEndian.PutUint32(b[20:24], uint32(MaxPayload+1))
+			resealHeader(b)
+		}), ErrChecksum},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := DecodeHeader(c.in); !errors.Is(err, c.want) {
+				t.Errorf("DecodeHeader = %v, want %v", err, c.want)
+			}
+		})
+	}
+
+	t.Run("payload-framing", func(t *testing.T) {
+		if _, _, err := DecodeChunk(valid[:len(valid)-3], a); !errors.Is(err, ErrTruncated) {
+			t.Errorf("truncated payload = %v, want ErrTruncated", err)
+		}
+		flipped := mutate(func(b []byte) { b[HeaderSize+10] ^= 0x80 })
+		if _, _, err := DecodeChunk(flipped, a); !errors.Is(err, ErrChecksum) {
+			t.Errorf("flipped payload = %v, want ErrChecksum", err)
+		}
+		if _, _, err := DecodeChunk(valid, Addr{Disk: 9}); !errors.Is(err, ErrAddrMismatch) {
+			t.Errorf("wrong address = %v, want ErrAddrMismatch", err)
+		}
+	})
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	m := ArrayManifest{Code: "star", P: 5, Disks: 8, Rows: 4, Stripes: 16, ChunkSize: 1024}
+	if err := WriteManifest(dir, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Version = ManifestVersion
+	if got != m {
+		t.Fatalf("manifest round trip: got %+v, want %+v", got, m)
+	}
+	if got.Chunks() != 8*4*16 {
+		t.Fatalf("Chunks() = %d", got.Chunks())
+	}
+}
+
+func TestManifestValidation(t *testing.T) {
+	dir := t.TempDir()
+	bad := []ArrayManifest{
+		{Code: "", P: 5, Disks: 8, Rows: 4, Stripes: 1, ChunkSize: 1},
+		{Code: "star", P: 5, Disks: 0, Rows: 4, Stripes: 1, ChunkSize: 1},
+		{Code: "star", P: 5, Disks: 8, Rows: 4, Stripes: 1, ChunkSize: 0},
+	}
+	for _, m := range bad {
+		if err := WriteManifest(dir, m); err == nil {
+			t.Errorf("WriteManifest accepted invalid %+v", m)
+		}
+	}
+	if _, err := ReadManifest(t.TempDir()); err == nil {
+		t.Error("ReadManifest of an empty dir succeeded")
+	}
+
+	// Version skew must be a typed, explicit error.
+	m := ArrayManifest{Version: ManifestVersion + 1, Code: "star", P: 5, Disks: 8, Rows: 4, Stripes: 1, ChunkSize: 1}
+	if err := m.Validate(); !errors.Is(err, ErrVersion) || !strings.Contains(err.Error(), "manifest") {
+		t.Errorf("version-skewed manifest Validate = %v", err)
+	}
+}

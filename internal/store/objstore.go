@@ -1,0 +1,182 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ObjectAPI is the minimal object-store client surface the Obj backend
+// drives — the subset of an S3-style SDK the chunk store needs. Keys
+// are flat strings; List returns the keys under a prefix in ascending
+// order. A real cloud client slots in here; MemObjects is the built-in
+// stub used until one is wired up (no new dependencies).
+type ObjectAPI interface {
+	Put(key string, data []byte) error
+	Get(key string) ([]byte, error)
+	Delete(key string) error
+	List(prefix string) ([]string, error)
+}
+
+// ErrNoObject is the sentinel an ObjectAPI's Get/Delete return for a
+// missing key; Obj maps it onto the store error taxonomy.
+var ErrNoObject = errors.New("object not found")
+
+// Obj is the object-store-style Backend: chunks live under flat keys
+// "disk-NNN/sSSSSSSSS-cCCC.chk" — the dirstore layout with "/" as the
+// separator — and carry the same self-describing header codec, so a
+// dirstore tree uploaded object-by-object is a valid object store and
+// vice versa.
+type Obj struct {
+	api ObjectAPI
+}
+
+// NewObj wraps an ObjectAPI into a chunk store Backend.
+func NewObj(api ObjectAPI) *Obj { return &Obj{api: api} }
+
+func objKey(a Addr) string { return DiskDirName(a.Disk) + "/" + chunkFileName(a) }
+
+// ReadChunk implements Backend.
+func (o *Obj) ReadChunk(a Addr, dst []byte) (int, error) {
+	if !a.Valid() {
+		return 0, &NotFoundError{Addr: a}
+	}
+	data, err := o.api.Get(objKey(a))
+	if err != nil {
+		if errors.Is(err, ErrNoObject) {
+			return 0, &NotFoundError{Addr: a}
+		}
+		return 0, fmt.Errorf("store: reading %v: %w", a, err)
+	}
+	_, payload, err := DecodeChunk(data, a)
+	if err != nil {
+		return 0, &CorruptError{Addr: a, Err: err}
+	}
+	if len(dst) < len(payload) {
+		return 0, fmt.Errorf("store: %v: destination buffer %d bytes, chunk payload %d", a, len(dst), len(payload))
+	}
+	return copy(dst, payload), nil
+}
+
+// WriteChunk implements Backend.
+func (o *Obj) WriteChunk(a Addr, data []byte) error {
+	if !a.Valid() {
+		return fmt.Errorf("store: invalid address %v", a)
+	}
+	return o.api.Put(objKey(a), EncodeChunk(a, data))
+}
+
+// Delete implements Backend.
+func (o *Obj) Delete(a Addr) error {
+	if !a.Valid() {
+		return &NotFoundError{Addr: a}
+	}
+	err := o.api.Delete(objKey(a))
+	if errors.Is(err, ErrNoObject) {
+		return &NotFoundError{Addr: a}
+	}
+	return err
+}
+
+// List implements Backend.
+func (o *Obj) List(disk int) ([]Addr, error) {
+	prefix := DiskDirName(disk) + "/"
+	keys, err := o.api.List(prefix)
+	if err != nil {
+		return nil, fmt.Errorf("store: listing disk %d: %w", disk, err)
+	}
+	var out []Addr
+	for _, k := range keys {
+		name, ok := strings.CutPrefix(k, prefix)
+		if !ok || strings.Contains(name, "/") {
+			continue
+		}
+		if a, ok := parseChunkFileName(disk, name); ok {
+			out = append(out, a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out, nil
+}
+
+// Stat implements Backend. Object stores have no cheap partial read, so
+// Stat fetches the object and validates the full codec — stricter than
+// Dir.Stat, which skips the payload CRC.
+func (o *Obj) Stat(a Addr) (Info, error) {
+	if !a.Valid() {
+		return Info{}, &NotFoundError{Addr: a}
+	}
+	data, err := o.api.Get(objKey(a))
+	if err != nil {
+		if errors.Is(err, ErrNoObject) {
+			return Info{}, &NotFoundError{Addr: a}
+		}
+		return Info{}, fmt.Errorf("store: stat %v: %w", a, err)
+	}
+	h, _, err := DecodeChunk(data, a)
+	if err != nil {
+		return Info{}, &CorruptError{Addr: a, Err: err}
+	}
+	return Info{Addr: a, Size: h.Length}, nil
+}
+
+// MemObjects is the in-memory ObjectAPI stub: a mutex-guarded map of
+// object copies, enough to run the Obj backend through the conformance
+// suite and the rebuild service without any cloud dependency.
+type MemObjects struct {
+	mu sync.RWMutex
+	m  map[string][]byte
+}
+
+// NewMemObjects returns an empty in-memory object store.
+func NewMemObjects() *MemObjects { return &MemObjects{m: make(map[string][]byte)} }
+
+// Put implements ObjectAPI.
+func (s *MemObjects) Put(key string, data []byte) error {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	s.mu.Lock()
+	s.m[key] = cp
+	s.mu.Unlock()
+	return nil
+}
+
+// Get implements ObjectAPI.
+func (s *MemObjects) Get(key string) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	data, ok := s.m[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoObject, key)
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	return cp, nil
+}
+
+// Delete implements ObjectAPI.
+func (s *MemObjects) Delete(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.m[key]; !ok {
+		return fmt.Errorf("%w: %q", ErrNoObject, key)
+	}
+	delete(s.m, key)
+	return nil
+}
+
+// List implements ObjectAPI.
+func (s *MemObjects) List(prefix string) ([]string, error) {
+	s.mu.RLock()
+	var out []string
+	for k := range s.m {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, k)
+		}
+	}
+	s.mu.RUnlock()
+	sort.Strings(out)
+	return out, nil
+}

@@ -1,0 +1,128 @@
+// Package store is the data plane under the rebuild service: a
+// pluggable chunk store addressed by (disk, stripe, chunk) holding real
+// bytes, where the simulator's disk.Array only counts I/O.
+//
+// Three backends implement the Backend contract: Dir (one directory per
+// disk, one self-describing file per chunk), Mem (an in-memory map for
+// tests) and Obj (an object-store-style backend over a flat key
+// namespace that shares Dir's layout and chunk codec). The contract is
+// pinned by a shared conformance suite (conformance_test.go) that every
+// backend must pass, mirroring the cache Policy contract test.
+//
+// On-media format: every chunk file/object starts with a fixed-size
+// versioned header (magic, version, address, payload length, payload
+// CRC, header CRC — see manifest.go) so a chunk is self-describing and
+// misdirected or torn writes are detected on read. The store root
+// additionally carries an array manifest (manifest.json) describing the
+// geometry the chunks encode.
+package store
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Addr identifies one chunk on the array: the disk (stripe column) it
+// lives on, the stripe index, and the chunk row within the stripe.
+type Addr struct {
+	Disk   int
+	Stripe int
+	Chunk  int
+}
+
+// String renders the address compactly as "d<disk>/s<stripe>/c<chunk>".
+func (a Addr) String() string { return fmt.Sprintf("d%d/s%d/c%d", a.Disk, a.Stripe, a.Chunk) }
+
+// Less orders addresses by (Disk, Stripe, Chunk) — the order List
+// returns chunks in.
+func (a Addr) Less(o Addr) bool {
+	if a.Disk != o.Disk {
+		return a.Disk < o.Disk
+	}
+	if a.Stripe != o.Stripe {
+		return a.Stripe < o.Stripe
+	}
+	return a.Chunk < o.Chunk
+}
+
+// Valid reports whether every coordinate is non-negative.
+func (a Addr) Valid() bool { return a.Disk >= 0 && a.Stripe >= 0 && a.Chunk >= 0 }
+
+// Info describes one stored chunk.
+type Info struct {
+	Addr Addr
+	Size int // payload bytes
+}
+
+// Backend is a pluggable chunk store. Implementations must be safe for
+// concurrent readers; concurrent writers to distinct addresses must not
+// interfere. The conformance suite in conformance_test.go is the
+// executable contract.
+type Backend interface {
+	// ReadChunk reads the payload stored at a into dst and returns the
+	// payload length. dst must be at least Stat(a).Size bytes (the
+	// store's chunk size in practice); a shorter dst is an error. A
+	// missing chunk reads as ErrNotFound; a chunk whose on-media codec
+	// fails validation reads as ErrCorrupt.
+	ReadChunk(a Addr, dst []byte) (int, error)
+	// WriteChunk stores the payload at a, replacing any previous
+	// contents. Backends with an on-media codec write atomically enough
+	// that a reader sees either the old or the new chunk, never a blend.
+	WriteChunk(a Addr, data []byte) error
+	// Delete removes the chunk at a; deleting a missing chunk is
+	// ErrNotFound.
+	Delete(a Addr) error
+	// List returns the addresses present on one disk in ascending
+	// (Stripe, Chunk) order. A disk with no chunks (including one whose
+	// directory was destroyed) lists as empty, not as an error.
+	List(disk int) ([]Addr, error)
+	// Stat describes the chunk at a without reading its payload, but
+	// validating what can be validated cheaply (header codec and stored
+	// size for Dir/Obj). Missing chunks stat as ErrNotFound; chunks with
+	// an invalid header or a size mismatch as ErrCorrupt.
+	Stat(a Addr) (Info, error)
+}
+
+// Error taxonomy: the two sentinel conditions every backend maps its
+// failures onto, matchable with errors.Is. Concrete errors carry the
+// address (and for corruption, the codec-level cause) via the
+// NotFoundError / CorruptError types.
+var (
+	// ErrNotFound reports a chunk absent from the store.
+	ErrNotFound = errors.New("chunk not found")
+	// ErrCorrupt reports a chunk present but failing on-media
+	// validation (bad header, checksum mismatch, truncated payload).
+	ErrCorrupt = errors.New("chunk corrupt")
+)
+
+// NotFoundError is the concrete ErrNotFound, naming the address.
+type NotFoundError struct {
+	Addr Addr
+}
+
+func (e *NotFoundError) Error() string { return fmt.Sprintf("store: %v: chunk not found", e.Addr) }
+
+// Is matches ErrNotFound.
+func (e *NotFoundError) Is(target error) bool { return target == ErrNotFound }
+
+// CorruptError is the concrete ErrCorrupt, naming the address and
+// wrapping the codec error that failed (ErrTruncated, ErrBadMagic,
+// ErrVersion, ErrChecksum or ErrAddrMismatch).
+type CorruptError struct {
+	Addr Addr
+	Err  error
+}
+
+func (e *CorruptError) Error() string { return fmt.Sprintf("store: %v: corrupt chunk: %v", e.Addr, e.Err) }
+
+// Unwrap exposes the codec-level cause.
+func (e *CorruptError) Unwrap() error { return e.Err }
+
+// Is matches ErrCorrupt.
+func (e *CorruptError) Is(target error) bool { return target == ErrCorrupt }
+
+// IsNotFound reports whether err denotes a missing chunk.
+func IsNotFound(err error) bool { return errors.Is(err, ErrNotFound) }
+
+// IsCorrupt reports whether err denotes a corrupt chunk.
+func IsCorrupt(err error) bool { return errors.Is(err, ErrCorrupt) }

@@ -1,0 +1,87 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"fbf/internal/chunk"
+	"fbf/internal/codes"
+	"fbf/internal/core"
+	"fbf/internal/grid"
+)
+
+// TestOracleAgreesWithChains recovers every cell of a partial stripe
+// error through its selected parity chain and cross-checks each against
+// the Oracle, the incremental form of the checkPattern gf2 diff.
+func TestOracleAgreesWithChains(t *testing.T) {
+	code := codes.MustNew("star", 5)
+	stripe := code.MaterializeStripe(11, 128)
+	e := core.PartialStripeError{Stripe: 0, Disk: 2, Row: 1, Size: 3}
+	lost := e.LostCells()
+
+	oracle, err := NewOracle(code, lost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	read := func(c grid.Coord, dst chunk.Chunk) error {
+		copy(dst, stripe[code.CellIndex(c)])
+		return nil
+	}
+	scheme, err := core.GenerateScheme(code, e, core.StrategyLooped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sel := range scheme.Selected {
+		if !oracle.Solvable(sel.Lost) {
+			t.Fatalf("oracle cannot solve %v", sel.Lost)
+		}
+		recovered, err := code.RebuildChunk(sel.Chain, sel.Lost, stripe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := oracle.Check(sel.Lost, recovered, read); err != nil {
+			t.Errorf("oracle rejects a correct chain recovery: %v", err)
+		}
+		// A single flipped byte in the recovered chunk must be caught.
+		recovered[17] ^= 0x01
+		if err := oracle.Check(sel.Lost, recovered, read); err == nil {
+			t.Errorf("oracle accepted corrupted recovery of %v", sel.Lost)
+		} else if !strings.Contains(err.Error(), "disagree") {
+			t.Errorf("unexpected oracle error: %v", err)
+		}
+	}
+}
+
+// TestOracleBeyondTolerance pins the unsolvable-cell reporting: erase
+// more columns than the code tolerates and the oracle must refuse those
+// cells rather than fabricate a plan.
+func TestOracleBeyondTolerance(t *testing.T) {
+	code := codes.MustNew("star", 5)
+	var lost []grid.Coord
+	for col := 0; col < 4; col++ { // 4 whole columns > 3DFT tolerance
+		for row := 0; row < code.Rows(); row++ {
+			lost = append(lost, grid.Coord{Row: row, Col: col})
+		}
+	}
+	oracle, err := NewOracle(code, lost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solvable := 0
+	for _, c := range lost {
+		if oracle.Solvable(c) {
+			solvable++
+		}
+	}
+	if solvable == len(lost) {
+		t.Fatal("oracle claims to solve a 4-column erasure on a 3DFT code")
+	}
+	for _, c := range lost {
+		if !oracle.Solvable(c) {
+			if err := oracle.Check(c, chunk.New(16), func(grid.Coord, chunk.Chunk) error { return nil }); err == nil {
+				t.Fatalf("Check succeeded on unsolvable cell %v", c)
+			}
+			break
+		}
+	}
+}
