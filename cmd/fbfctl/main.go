@@ -9,11 +9,22 @@
 //	fbfctl status  -store DIR [-o scrub]
 //	fbfctl rebuild -store DIR [-policy NAME] [-strategy NAME] [-cache N] [-progress]
 //	               [-o check-only] [-o dry-run] [-o scrub] [-o no-verify]
-//	               [-o priority=sequential|vulnerable]
+//	               [-o priority=sequential|vulnerable] [-o resume]
+//	               [-o rate-limit=BYTES/S]
+//	fbfctl daemon  -store DIR [-interval DUR] [-policy NAME] [-strategy NAME] [-cache N]
+//	               [-o scrub] [-o no-verify] [-o priority=...] [-o rate-limit=BYTES/S]
+//	               [-o retries=N] [-o max-scans=N]
 //
 // Operator options follow the rclone `-o key[=value]` convention.
+// `rebuild -o resume` journals progress to <store>/rebuild.journal and
+// resumes from it after a crash or interrupt; `daemon` watches the
+// store, journaling every repair. Both shut down gracefully on
+// SIGINT/SIGTERM: the chunk in flight is finished, the journal synced,
+// and a summary printed.
+//
 // Exit status: 0 success (and store clean), 1 error, 2 damage present
-// (status, rebuild -o check-only) or data loss (rebuild).
+// (status, rebuild -o check-only) or data loss (rebuild, daemon),
+// 3 interrupted by a shutdown signal (journal kept for resume).
 package main
 
 import (
@@ -21,6 +32,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
 
 	"fbf/internal/cache"
 	"fbf/internal/cli"
@@ -31,10 +45,38 @@ import (
 )
 
 const (
-	exitOK      = 0
-	exitErr     = 1
-	exitDamaged = 2
+	exitOK          = 0
+	exitErr         = 1
+	exitDamaged     = 2
+	exitInterrupted = 3
 )
+
+// journalName is the rebuild journal's filename inside the store root.
+const journalName = "rebuild.journal"
+
+// testStop, when non-nil, feeds notifyStop alongside real signals — the
+// seam that lets tests exercise interrupted runs deterministically.
+var testStop <-chan struct{}
+
+// notifyStop returns a channel closed on SIGINT/SIGTERM (the graceful
+// shutdown request) and a cleanup func restoring default handling.
+func notifyStop() (<-chan struct{}, func()) {
+	if testStop != nil {
+		return testStop, func() {}
+	}
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-sigs:
+			close(stop)
+		case <-done:
+		}
+	}()
+	return stop, func() { signal.Stop(sigs); close(done) }
+}
 
 func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
 
@@ -44,10 +86,13 @@ func usage(stderr io.Writer) int {
   fbfctl status  -store DIR [-o scrub]
   fbfctl rebuild -store DIR [-policy NAME] [-strategy NAME] [-cache N] [-progress]
                  [-o check-only] [-o dry-run] [-o scrub] [-o no-verify]
-                 [-o priority=sequential|vulnerable]
+                 [-o priority=sequential|vulnerable] [-o resume] [-o rate-limit=BYTES/S]
+  fbfctl daemon  -store DIR [-interval DUR] [-policy NAME] [-strategy NAME] [-cache N]
+                 [-o scrub] [-o no-verify] [-o priority=...] [-o rate-limit=BYTES/S]
+                 [-o retries=N] [-o max-scans=N]
 
 codes: %v  policies: %v
-exit status: 0 ok, 1 error, 2 damage/data loss
+exit status: 0 ok, 1 error, 2 damage/data loss, 3 interrupted (journal kept)
 `, codes.Names(), cache.Names())
 	return exitErr
 }
@@ -63,6 +108,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return runStatus(args[1:], stdout, stderr)
 	case "rebuild":
 		return runRebuild(args[1:], stdout, stderr)
+	case "daemon":
+		return runDaemon(args[1:], stdout, stderr)
 	case "help", "-h", "-help", "--help":
 		usage(stderr)
 		return exitOK
@@ -201,6 +248,19 @@ func runStatus(args []string, stdout, stderr io.Writer) int {
 	return exitOK
 }
 
+// throttled wraps the backend in a token-bucket rate limit when the
+// rate-limit option is given (bytes of chunk payload I/O per second).
+func throttled(b store.Backend, opts *cli.Options) (store.Backend, error) {
+	rate, err := opts.Int64("rate-limit", 0)
+	if err != nil {
+		return nil, err
+	}
+	if !opts.Has("rate-limit") {
+		return b, nil
+	}
+	return store.NewThrottle(b, rate)
+}
+
 func runRebuild(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("fbfctl rebuild", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -210,12 +270,12 @@ func runRebuild(args []string, stdout, stderr io.Writer) int {
 	cacheChunks := fs.Int("cache", 64, "cache capacity in chunks (negative disables)")
 	progress := fs.Bool("progress", false, "report per-stripe progress on stderr")
 	var opts cli.Options
-	fs.Var(&opts, "o", "operator option: check-only, dry-run, scrub, no-verify, priority=...")
+	fs.Var(&opts, "o", "operator option: check-only, dry-run, scrub, no-verify, priority=..., resume, rate-limit=...")
 	if err := fs.Parse(args); err != nil {
 		return exitErr
 	}
-	if unknown := opts.Unknown("check-only", "dry-run", "scrub", "no-verify", "priority"); len(unknown) > 0 {
-		return fail(stderr, fmt.Errorf("unknown -o options %v (rebuild knows: check-only, dry-run, scrub, no-verify, priority)", unknown))
+	if unknown := opts.Unknown("check-only", "dry-run", "scrub", "no-verify", "priority", "resume", "rate-limit"); len(unknown) > 0 {
+		return fail(stderr, fmt.Errorf("unknown -o options %v (rebuild knows: check-only, dry-run, scrub, no-verify, priority, resume, rate-limit)", unknown))
 	}
 	strat, err := core.ParseStrategy(*strategy)
 	if err != nil {
@@ -225,23 +285,41 @@ func runRebuild(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return fail(stderr, err)
 	}
+	backend, err := throttled(store.Backend(b), &opts)
+	if err != nil {
+		return fail(stderr, err)
+	}
 	cfg := rebuild.ServiceConfig{
-		Backend: b, Manifest: m,
+		Backend: backend, Manifest: m,
 		Policy: *policy, Strategy: strat, CacheChunks: *cacheChunks,
 		Priority: opts.Value("priority", rebuild.PrioritySequential),
 	}
+	var resume bool
 	for _, bind := range []struct {
 		key string
 		dst *bool
 	}{
 		{"check-only", &cfg.CheckOnly}, {"dry-run", &cfg.DryRun},
 		{"scrub", &cfg.Scrub}, {"no-verify", &cfg.NoVerify},
+		{"resume", &resume},
 	} {
 		v, err := opts.Bool(bind.key)
 		if err != nil {
 			return fail(stderr, err)
 		}
 		*bind.dst = v
+	}
+	if resume {
+		// Journaled mode: progress survives crashes and interrupts, and
+		// a rerun with -o resume picks up where this one stopped.
+		cfg.JournalPath = filepath.Join(*storeDir, journalName)
+	}
+	if !cfg.CheckOnly && !cfg.DryRun {
+		// SIGINT/SIGTERM request a graceful stop: finish the chunk in
+		// flight, sync the journal (if any), summarize, exit 3.
+		stop, cancel := notifyStop()
+		defer cancel()
+		cfg.Stop = stop
 	}
 	if *progress {
 		cfg.Progress = func(p rebuild.Progress) {
@@ -263,6 +341,13 @@ func runRebuild(args []string, stdout, stderr io.Writer) int {
 		if !rep.Clean() {
 			return exitDamaged
 		}
+	case res.Interrupted:
+		fmt.Fprintf(stdout, " interrupted : %d of %d damaged stripes repaired (%d chunks rebuilt)\n",
+			res.StripesRepaired, len(rep.Stripes), res.ChunksRebuilt)
+		if res.JournalOffset > 0 {
+			fmt.Fprintf(stdout, "     journal : synced at offset %d; rerun with -o resume to continue\n", res.JournalOffset)
+		}
+		return exitInterrupted
 	case rep.Clean():
 		fmt.Fprintf(stdout, "       state : clean\n")
 	case cfg.DryRun:
@@ -273,6 +358,10 @@ func runRebuild(args []string, stdout, stderr io.Writer) int {
 	default:
 		fmt.Fprintf(stdout, "        plan : strategy=%s policy=%s cache=%d priority=%s\n",
 			strat, cfg.Policy, cfg.CacheChunks, cfg.Priority)
+		if res.ResumedCommits > 0 {
+			fmt.Fprintf(stdout, "     resumed : %d journaled commits replayed (%d re-verified)\n",
+				res.ResumedCommits, res.ResumeVerified)
+		}
 		fmt.Fprintf(stdout, "     rebuilt : %d chunks in %d stripes (%d verified, %d decoded)\n",
 			res.ChunksRebuilt, res.StripesRepaired, res.ChunksVerified, res.ChunksDecoded)
 		fmt.Fprintf(stdout, "          io : %d reads, %d cache hits, %d misses, %d B written\n",
@@ -292,6 +381,96 @@ func runRebuild(args []string, stdout, stderr io.Writer) int {
 	if res.DataLoss {
 		fmt.Fprintf(stdout, "        lost : %d chunks unrecoverable (data loss)\n", len(res.Lost))
 		return exitDamaged
+	}
+	return exitOK
+}
+
+// runDaemon is the watch mode: scan on an interval, run a journaled
+// rebuild whenever damage appears, back off on transient failures, and
+// shut down gracefully on SIGINT/SIGTERM.
+func runDaemon(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fbfctl daemon", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	storeDir := fs.String("store", "", "store directory")
+	policy := fs.String("policy", "fbf", "cache policy for surviving chunks")
+	strategy := fs.String("strategy", "looped", "chain-selection strategy")
+	cacheChunks := fs.Int("cache", 64, "cache capacity in chunks (negative disables)")
+	interval := fs.Duration("interval", rebuild.DefaultInterval, "pause between clean scans")
+	var opts cli.Options
+	fs.Var(&opts, "o", "operator option: scrub, no-verify, priority=..., rate-limit=BYTES/S, retries=N, max-scans=N")
+	if err := fs.Parse(args); err != nil {
+		return exitErr
+	}
+	if unknown := opts.Unknown("scrub", "no-verify", "priority", "rate-limit", "retries", "max-scans"); len(unknown) > 0 {
+		return fail(stderr, fmt.Errorf("unknown -o options %v (daemon knows: scrub, no-verify, priority, rate-limit, retries, max-scans)", unknown))
+	}
+	strat, err := core.ParseStrategy(*strategy)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	m, b, err := openStore(*storeDir)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	backend, err := throttled(b, &opts)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	svc := rebuild.ServiceConfig{
+		Backend: backend, Manifest: m,
+		Policy: *policy, Strategy: strat, CacheChunks: *cacheChunks,
+		Priority:    opts.Value("priority", rebuild.PrioritySequential),
+		JournalPath: filepath.Join(*storeDir, journalName),
+	}
+	for _, bind := range []struct {
+		key string
+		dst *bool
+	}{
+		{"scrub", &svc.Scrub}, {"no-verify", &svc.NoVerify},
+	} {
+		v, err := opts.Bool(bind.key)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		*bind.dst = v
+	}
+	retries, err := opts.Int64("retries", rebuild.DefaultRetries)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	if opts.Has("retries") && retries == 0 {
+		retries = -1 // an explicit 0 means "never retry"
+	}
+	maxScans, err := opts.Int64("max-scans", 0)
+	if err != nil {
+		return fail(stderr, err)
+	}
+
+	stop, cancel := notifyStop()
+	defer cancel()
+	res, err := rebuild.RunDaemon(rebuild.DaemonConfig{
+		Service: svc, Interval: *interval,
+		Retries: int(retries), MaxScans: int(maxScans),
+		Stop: stop,
+		Logf: func(f string, a ...any) { fmt.Fprintf(stderr, "fbfctl daemon: "+f+"\n", a...) },
+	})
+	if res != nil {
+		fmt.Fprintf(stdout, "       scans : %d (%d rebuilds, %d retries)\n", res.Scans, res.Rebuilds, res.Retries)
+		fmt.Fprintf(stdout, "    repaired : %d chunks in %d stripes\n", res.ChunksRebuilt, res.StripesRepaired)
+	}
+	if err != nil {
+		return fail(stderr, err)
+	}
+	switch {
+	case res.DataLoss:
+		fmt.Fprintf(stdout, "        lost : unrecoverable chunks (data loss)\n")
+		return exitDamaged
+	case res.Interrupted:
+		if res.Last != nil && res.Last.Interrupted && res.Last.JournalOffset > 0 {
+			fmt.Fprintf(stdout, "     journal : synced at offset %d; the next run resumes\n", res.Last.JournalOffset)
+		}
+		fmt.Fprintf(stdout, "    shutdown : graceful (signal)\n")
+		return exitInterrupted
 	}
 	return exitOK
 }

@@ -295,6 +295,11 @@ func TestUsageErrors(t *testing.T) {
 		{"rebuild-conflicting-modes", []string{"rebuild", "-store", dir, "-o", "check-only", "-o", "dry-run"}},
 		{"rebuild-bad-bool", []string{"rebuild", "-store", dir, "-o", "scrub=maybe"}},
 		{"duplicate-option", []string{"rebuild", "-store", dir, "-o", "scrub", "-o", "scrub"}},
+		{"rebuild-bad-rate", []string{"rebuild", "-store", dir, "-o", "rate-limit=0"}},
+		{"rebuild-resume-check-only", []string{"rebuild", "-store", dir, "-o", "resume", "-o", "check-only"}},
+		{"daemon-unknown-option", []string{"daemon", "-store", dir, "-o", "check-only"}},
+		{"daemon-bad-retries", []string{"daemon", "-store", dir, "-o", "retries=lots"}},
+		{"daemon-bad-rate", []string{"daemon", "-store", dir, "-o", "rate-limit=-3"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -318,5 +323,104 @@ func TestHelpExitsZero(t *testing.T) {
 		if _, errOut, code := runCtl(t, arg); code != exitOK || !strings.Contains(errOut, "usage:") {
 			t.Errorf("%s: exit %d, stderr %q", arg, code, errOut)
 		}
+	}
+}
+
+// TestRebuildResumeAfterInterrupt pins the -o resume lifecycle end to
+// end: an interrupted journaled rebuild exits 3 with a terminal summary
+// and keeps the journal; the rerun resumes, converges byte-exact, and
+// removes it.
+func TestRebuildResumeAfterInterrupt(t *testing.T) {
+	const stripes = 3
+	dir := initStore(t, "star", stripes)
+	for _, d := range []int{0, 2, 4} {
+		if err := os.RemoveAll(filepath.Join(dir, store.DiskDirName(d))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	stopped := make(chan struct{})
+	close(stopped)
+	testStop = stopped
+	defer func() { testStop = nil }()
+	out, errOut, code := runCtl(t, "rebuild", "-store", dir, "-o", "resume")
+	if code != exitInterrupted {
+		t.Fatalf("interrupted rebuild = %d, want %d (stderr: %s)", code, exitInterrupted, errOut)
+	}
+	if !strings.Contains(out, "interrupted :") || !strings.Contains(out, "rerun with -o resume") {
+		t.Fatalf("interrupt summary missing:\n%s", out)
+	}
+	if _, err := os.Stat(filepath.Join(dir, journalName)); err != nil {
+		t.Fatalf("journal missing after interrupt: %v", err)
+	}
+
+	testStop = nil
+	out, errOut, code = runCtl(t, "rebuild", "-store", dir, "-o", "resume")
+	if code != exitOK {
+		t.Fatalf("resume = %d (stderr: %s)", code, errOut)
+	}
+	if !strings.Contains(out, "state : clean") {
+		t.Fatalf("resume did not report clean:\n%s", out)
+	}
+	if _, err := os.Stat(filepath.Join(dir, journalName)); !os.IsNotExist(err) {
+		t.Fatalf("journal survives completed resume: %v", err)
+	}
+	checkGroundTruth(t, dir, "star", stripes)
+}
+
+// TestRebuildRateLimited pins that a throttled rebuild still converges
+// (the limit is set far above the store size, so the test stays fast).
+func TestRebuildRateLimited(t *testing.T) {
+	const stripes = 2
+	dir := initStore(t, "star", stripes)
+	if err := os.RemoveAll(filepath.Join(dir, store.DiskDirName(5))); err != nil {
+		t.Fatal(err)
+	}
+	_, errOut, code := runCtl(t, "rebuild", "-store", dir, "-o", "rate-limit=100000000")
+	if code != exitOK {
+		t.Fatalf("rate-limited rebuild = %d: %s", code, errOut)
+	}
+	checkGroundTruth(t, dir, "star", stripes)
+}
+
+// TestDaemonWatchesAndExits pins the daemon happy path: scan one,
+// repair, scan two confirms clean, exit at max-scans with the journal
+// cleaned up and the store byte-exact.
+func TestDaemonWatchesAndExits(t *testing.T) {
+	const stripes = 2
+	dir := initStore(t, "star", stripes)
+	if err := os.RemoveAll(filepath.Join(dir, store.DiskDirName(3))); err != nil {
+		t.Fatal(err)
+	}
+	out, errOut, code := runCtl(t, "daemon", "-store", dir, "-interval", "1ms", "-o", "max-scans=2")
+	if code != exitOK {
+		t.Fatalf("daemon = %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "scans : 2 (1 rebuilds, 0 retries)") {
+		t.Fatalf("daemon summary:\n%s", out)
+	}
+	if !strings.Contains(errOut, "rebuilt") || !strings.Contains(errOut, "clean") {
+		t.Fatalf("daemon log:\n%s", errOut)
+	}
+	if _, err := os.Stat(filepath.Join(dir, journalName)); !os.IsNotExist(err) {
+		t.Fatalf("journal survives daemon completion: %v", err)
+	}
+	checkGroundTruth(t, dir, "star", stripes)
+}
+
+// TestDaemonGracefulSignalExit pins the shutdown path: a pending stop
+// request exits 3 with the graceful-shutdown summary.
+func TestDaemonGracefulSignalExit(t *testing.T) {
+	dir := initStore(t, "star", 1)
+	stopped := make(chan struct{})
+	close(stopped)
+	testStop = stopped
+	defer func() { testStop = nil }()
+	out, errOut, code := runCtl(t, "daemon", "-store", dir)
+	if code != exitInterrupted {
+		t.Fatalf("daemon under stop = %d, want %d: %s", code, exitInterrupted, errOut)
+	}
+	if !strings.Contains(out, "shutdown : graceful") {
+		t.Fatalf("daemon shutdown summary:\n%s", out)
 	}
 }

@@ -28,7 +28,10 @@
 // chunk store (directory-per-disk, in-memory, object-style) and a
 // rebuild service that repairs killed disks on a filesystem,
 // oracle-checking every recovered chunk (§12 in DESIGN.md; cmd/fbfctl
-// is the operator front end).
+// is the operator front end). Rebuilds are crash-safe: a write-ahead
+// journal makes an interrupted repair resumable, a fault-injecting
+// backend wrapper proves it at every crash point, and a watch daemon
+// keeps an array repaired unattended (§13 in DESIGN.md).
 //
 // Quick start:
 //
@@ -52,6 +55,7 @@ import (
 	"fbf/internal/rebuild"
 	"fbf/internal/sim"
 	"fbf/internal/store"
+	"fbf/internal/store/faultstore"
 	"fbf/internal/trace"
 	"fbf/internal/verify"
 )
@@ -457,4 +461,76 @@ var (
 	Rebuild = rebuild.RunService
 	// NewRecoveryOracle builds the decoder plan for one lost-cell set.
 	NewRecoveryOracle = verify.NewOracle
+)
+
+// Crash safety (journaled resumable rebuilds, fault injection, and the
+// watch daemon; see "Crash consistency & the rebuild journal" in
+// DESIGN.md). Set RebuildConfig.JournalPath to make a rebuild journal
+// its progress and resume after a crash; wrap the backend in a
+// FaultStore to prove it.
+type (
+	// DirStoreOptions tunes the directory backend's durability
+	// (OpenDirStoreWith).
+	DirStoreOptions = store.DirOptions
+	// StoreThrottle is the token-bucket bandwidth limiter backend
+	// wrapper.
+	StoreThrottle = store.Throttle
+	// FaultStore wraps a backend with deterministic seeded fault
+	// injection: EIO, ENOSPC, torn writes, stalls, and crash points.
+	FaultStore = faultstore.Store
+	// FaultStorePlan parameterizes a FaultStore's injected faults.
+	FaultStorePlan = faultstore.Plan
+	// Journal is the append-only CRC-framed write-ahead rebuild journal.
+	Journal = rebuild.Journal
+	// JournalState is the state replayed from a journal on open.
+	JournalState = rebuild.JournalState
+	// JournalScan is a journaled damage-scan summary (the geometry
+	// guard resume checks against the manifest).
+	JournalScan = rebuild.JournalScan
+	// DaemonConfig parameterizes the rebuild watch loop.
+	DaemonConfig = rebuild.DaemonConfig
+	// DaemonResult aggregates one watch loop's lifetime.
+	DaemonResult = rebuild.DaemonResult
+)
+
+// Injected-fault sentinels and journal errors, matchable with errors.Is.
+var (
+	// ErrFaultInjectedIO is FaultStore's injected EIO.
+	ErrFaultInjectedIO = faultstore.ErrInjectedIO
+	// ErrFaultNoSpace is FaultStore's injected ENOSPC.
+	ErrFaultNoSpace = faultstore.ErrNoSpace
+	// ErrFaultCrashed reports a FaultStore crash point was reached and
+	// all further I/O is halted.
+	ErrFaultCrashed = faultstore.ErrCrashed
+	// ErrJournalVersion reports a journal written by a newer format
+	// version.
+	ErrJournalVersion = rebuild.ErrJournalVersion
+)
+
+// Daemon defaults.
+const (
+	DaemonDefaultInterval   = rebuild.DefaultInterval
+	DaemonDefaultRetries    = rebuild.DefaultRetries
+	DaemonDefaultBackoff    = rebuild.DefaultBackoff
+	DaemonDefaultMaxBackoff = rebuild.DefaultMaxBackoff
+)
+
+// Crash-safety functions.
+var (
+	// OpenDirStoreWith opens a directory-backed store with explicit
+	// durability options.
+	OpenDirStoreWith = store.OpenDirWith
+	// NewStoreThrottle wraps a backend with a bytes-per-second budget.
+	NewStoreThrottle = store.NewThrottle
+	// WrapFaultStore puts a fault plan in front of a backend.
+	WrapFaultStore = faultstore.Wrap
+	// OpenJournal opens (creating if needed) a rebuild journal and
+	// replays its longest valid record prefix, truncating any torn tail.
+	OpenJournal = rebuild.OpenJournal
+	// JournalPayloadCRC is the chunk-payload checksum commit records
+	// carry.
+	JournalPayloadCRC = rebuild.PayloadCRC
+	// RunDaemon watches a store, running journaled rebuilds whenever
+	// damage appears, until Stop fires or MaxScans is reached.
+	RunDaemon = rebuild.RunDaemon
 )

@@ -2,6 +2,9 @@ package fbf_test
 
 import (
 	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -144,5 +147,61 @@ func TestPublicAPIStorageEngine(t *testing.T) {
 	}
 	if !rep.Clean() {
 		t.Fatalf("store not clean after facade rebuild: %+v", rep)
+	}
+}
+
+// TestPublicAPICrashSafety exercises the crash-safety facade: a
+// journaled rebuild crashed by an injected fault plan resumes to a
+// clean store, and the watch daemon drives the same repair end to end.
+func TestPublicAPICrashSafety(t *testing.T) {
+	m := fbf.StoreManifest{Code: "star", P: 5, Disks: 8, Rows: 4, Stripes: 2, ChunkSize: 64}
+	root := t.TempDir()
+	d, err := fbf.OpenDirStoreWith(filepath.Join(root, "array"), fbf.DirStoreOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fbf.InitStore(d, m, 7); err != nil {
+		t.Fatal(err)
+	}
+	addrs, err := d.List(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range addrs {
+		if err := d.Delete(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	journal := filepath.Join(root, "rebuild.journal")
+	faulty := fbf.WrapFaultStore(d, fbf.FaultStorePlan{Seed: 1, CrashAfterOps: 40})
+	_, err = fbf.Rebuild(fbf.RebuildConfig{Backend: faulty, Manifest: m, JournalPath: journal})
+	if !errors.Is(err, fbf.ErrFaultCrashed) {
+		t.Fatalf("crashed rebuild returned %v, want ErrFaultCrashed", err)
+	}
+
+	throttled, err := fbf.NewStoreThrottle(d, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dres, err := fbf.RunDaemon(fbf.DaemonConfig{
+		Service:  fbf.RebuildConfig{Backend: throttled, Manifest: m, JournalPath: journal},
+		MaxScans: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dres.DataLoss || dres.Interrupted || dres.Scans != 1 || dres.Last == nil {
+		t.Fatalf("daemon through facade: %+v", dres)
+	}
+	rep, err := fbf.ScanStore(d, m, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("store not clean after facade resume: %+v", rep)
+	}
+	if _, err := os.Stat(journal); !os.IsNotExist(err) {
+		t.Fatalf("journal survives completed resume: %v", err)
 	}
 }

@@ -3,6 +3,7 @@ package cli
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -85,6 +86,20 @@ func (o *Options) Bool(key string) (bool, error) {
 		return false, nil
 	}
 	return false, fmt.Errorf("bad -o %s=%s: not a boolean (want true/false)", key, v)
+}
+
+// Int64 reads the option as a base-10 integer, returning def when
+// absent. A bare key or a non-numeric value is an error.
+func (o *Options) Int64(key string, def int64) (int64, error) {
+	v, ok := o.vals[key]
+	if !ok {
+		return def, nil
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad -o %s=%s: not an integer", key, v)
+	}
+	return n, nil
 }
 
 // Keys returns the option keys in the order given.

@@ -120,3 +120,27 @@ func TestOptionsAsFlagValue(t *testing.T) {
 		t.Error("duplicate -o accepted by flag parse")
 	}
 }
+
+// TestOptionsInt64 pins the numeric accessor: absent yields the
+// default, a base-10 value parses, and junk (including bare keys) is a
+// loud error.
+func TestOptionsInt64(t *testing.T) {
+	var o Options
+	for _, s := range []string{"rate-limit=1048576", "max-scans", "retries=x"} {
+		if err := o.Set(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, err := o.Int64("rate-limit", 0); err != nil || n != 1048576 {
+		t.Errorf("Int64(rate-limit) = %d, %v", n, err)
+	}
+	if n, err := o.Int64("absent", 42); err != nil || n != 42 {
+		t.Errorf("Int64(absent) = %d, %v, want the default", n, err)
+	}
+	if _, err := o.Int64("max-scans", 0); err == nil {
+		t.Error("bare key parsed as an integer")
+	}
+	if _, err := o.Int64("retries", 0); err == nil {
+		t.Error("junk value parsed as an integer")
+	}
+}

@@ -65,6 +65,20 @@ type ServiceConfig struct {
 	// default, PriorityVulnerable).
 	Priority string
 
+	// JournalPath, when set, makes the rebuild crash-safe: scan results,
+	// per-stripe plans, and per-chunk commits append to a write-ahead
+	// journal at this path, and a rerun with the same path resumes —
+	// re-verifying the interrupted stripe's committed chunks against the
+	// journaled payload CRCs and the GF(2) oracle before continuing. The
+	// journal is removed on clean completion. Incompatible with
+	// CheckOnly and DryRun, which perform no repairs to journal.
+	JournalPath string
+
+	// Stop, when non-nil, requests graceful shutdown: once the channel
+	// is closed the service finishes the chunk repair in flight, syncs
+	// the journal, and returns with Interrupted set instead of an error.
+	Stop <-chan struct{}
+
 	// Progress, when non-nil, is called after every repaired stripe —
 	// the hook fbfctl turns into mdadm-style percent-complete lines.
 	Progress func(Progress)
@@ -110,6 +124,9 @@ func (c *ServiceConfig) validate() error {
 	}
 	if c.CheckOnly && c.DryRun {
 		return &ConfigError{Field: "CheckOnly", Reason: "check-only and dry-run are mutually exclusive"}
+	}
+	if c.JournalPath != "" && (c.CheckOnly || c.DryRun) {
+		return &ConfigError{Field: "JournalPath", Reason: "journaling applies only to executing rebuilds (not check-only or dry-run)"}
 	}
 	switch c.Priority {
 	case PrioritySequential, PriorityVulnerable:
@@ -329,6 +346,12 @@ type ServiceResult struct {
 	Lost     []store.Addr
 
 	BytesWritten int64
+
+	// Crash-safety accounting (journaled runs only).
+	Interrupted    bool  // a Stop request ended the run early; the journal is kept
+	JournalOffset  int64 // journal append offset at exit (zero once the journal is removed)
+	ResumedCommits int   // chunk commits replayed from a prior run's journal
+	ResumeVerified int   // replayed commits that re-passed the CRC and oracle checks
 }
 
 // RunService scans the store and repairs every damaged stripe through
@@ -346,24 +369,129 @@ func RunService(cfg ServiceConfig) (*ServiceResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	var jn *Journal
+	var jstate *JournalState
+	if cfg.JournalPath != "" {
+		jn, jstate, err = OpenJournal(cfg.JournalPath)
+		if err != nil {
+			return nil, err
+		}
+		if jstate.Complete {
+			// The journal records a finished rebuild (a crash landed
+			// between its done record and its removal); this run is a
+			// new damage episode, not a resume.
+			if err := jn.Reset(); err != nil {
+				jn.Close()
+				return nil, err
+			}
+			jstate = &JournalState{Plans: map[int][]grid.Coord{}, Commits: map[store.Addr]uint32{}, Done: map[int]bool{}}
+		}
+		if sc := jstate.Scan; sc != nil {
+			m := cfg.Manifest
+			if sc.Disks != m.Disks || sc.Rows != m.Rows || sc.Stripes != m.Stripes || sc.ChunkSize != m.ChunkSize {
+				jn.Close()
+				return nil, fmt.Errorf("rebuild: journal %s was written for a %dx%d array of %d stripes (chunk %d bytes); manifest says %dx%d, %d stripes (chunk %d bytes)",
+					cfg.JournalPath, sc.Disks, sc.Rows, sc.Stripes, sc.ChunkSize, m.Disks, m.Rows, m.Stripes, m.ChunkSize)
+			}
+		}
+	}
 	report, err := ScanStore(cfg.Backend, cfg.Manifest, cfg.Scrub)
 	if err != nil {
+		if jn != nil {
+			jn.Close()
+		}
 		return nil, err
 	}
 	res := &ServiceResult{Report: report}
-	if cfg.CheckOnly || report.Clean() {
+	if cfg.CheckOnly {
+		return res, nil
+	}
+	if report.Clean() && (jn == nil || len(jstate.InFlight()) == 0) {
+		// Nothing to repair and nothing in flight to re-verify. A
+		// leftover journal here recorded repairs that all landed; drop
+		// it so the store tree matches a never-damaged one.
+		if jn != nil {
+			if err := jn.Remove(); err != nil {
+				return nil, err
+			}
+		}
 		return res, nil
 	}
 
-	s := &service{cfg: &cfg, code: code, res: res, pool: chunk.NewPool(cfg.Manifest.ChunkSize)}
+	s := &service{cfg: &cfg, code: code, res: res, pool: chunk.NewPool(cfg.Manifest.ChunkSize), journal: jn}
 	if cfg.CacheChunks > 0 {
 		s.policy, err = cache.New(cfg.Policy, cfg.CacheChunks)
 		if err != nil {
+			if jn != nil {
+				jn.Close()
+			}
 			return nil, err
 		}
 		s.bufs = make(map[cache.ChunkID]chunk.Chunk, cfg.CacheChunks)
 	}
 
+	err = s.execute(jstate)
+	if s.policy != nil {
+		st := s.policy.Stats()
+		res.CacheHits, res.CacheMisses = st.Hits, st.Misses
+	}
+	res.DataLoss = len(res.Lost) > 0
+	if jn != nil {
+		res.JournalOffset = jn.Offset()
+		if err != nil || res.Interrupted {
+			// Keep the journal: sync what we know so the next run
+			// resumes from it. The sync error (if any) must not shadow
+			// the run's own outcome.
+			if serr := jn.Sync(); serr != nil && err == nil {
+				err = serr
+			}
+			jn.Close()
+		} else {
+			// Clean completion: mark done, then remove — the done
+			// record covers a crash inside this window.
+			ferr := jn.AppendDone()
+			if ferr == nil {
+				ferr = jn.Sync()
+			}
+			if ferr == nil {
+				ferr = jn.Remove()
+				res.JournalOffset = 0
+			} else {
+				jn.Close()
+			}
+			if ferr != nil {
+				return nil, ferr
+			}
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// execute runs the repair pass: resume verification of journaled
+// commits, stripe ordering, and the repair loop with graceful-stop
+// checks between stripes.
+func (s *service) execute(jstate *JournalState) error {
+	cfg, res, report := s.cfg, s.res, s.res.Report
+	if s.journal != nil {
+		res.ResumedCommits = len(jstate.Commits)
+		if err := s.verifyResumed(jstate); err != nil {
+			return err
+		}
+		m := cfg.Manifest
+		if err := s.journal.AppendScan(JournalScan{
+			Disks: m.Disks, Rows: m.Rows, Stripes: m.Stripes, ChunkSize: m.ChunkSize,
+			Missing: report.MissingChunks, Corrupt: report.CorruptChunks,
+			DamagedStripes: len(report.Stripes),
+		}); err != nil {
+			return err
+		}
+		if err := s.journal.Sync(); err != nil {
+			return err
+		}
+	}
 	order := append([]StripeDamage(nil), report.Stripes...)
 	if cfg.Priority == PriorityVulnerable {
 		sort.SliceStable(order, func(i, j int) bool {
@@ -375,20 +503,148 @@ func RunService(cfg ServiceConfig) (*ServiceResult, error) {
 		})
 	}
 	for _, d := range order {
+		if s.stopRequested() {
+			res.Interrupted = true
+		}
+		if res.Interrupted {
+			break
+		}
 		if err := s.repairStripe(d); err != nil {
-			return nil, err
+			return err
+		}
+		if res.Interrupted {
+			// The stop landed mid-stripe: the chunk in flight was
+			// finished and committed, but the stripe was not.
+			break
 		}
 		res.StripesRepaired++
 		if cfg.Progress != nil {
 			cfg.Progress(Progress{Stripe: d.Stripe, StripesTotal: len(order), StripesDone: res.StripesRepaired, ChunksRebuilt: res.ChunksRebuilt})
 		}
 	}
-	if s.policy != nil {
-		st := s.policy.Stats()
-		res.CacheHits, res.CacheMisses = st.Hits, st.Misses
+	return nil
+}
+
+// stopRequested polls the graceful-shutdown channel.
+func (s *service) stopRequested() bool {
+	if s.cfg.Stop == nil {
+		return false
 	}
-	res.DataLoss = len(res.Lost) > 0
-	return res, nil
+	select {
+	case <-s.cfg.Stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// verifyResumed re-checks every chunk a prior run journaled as
+// committed in a stripe it never finished: the payload must match the
+// journaled CRC and (when the journaled lost set makes the cell
+// solvable) re-derive identically through the GF(2) oracle. A chunk
+// that fails either check is flagged as corrupt damage so the repair
+// loop rebuilds it; a chunk the fresh scan already flagged needs no
+// second opinion.
+func (s *service) verifyResumed(st *JournalState) error {
+	m := s.cfg.Manifest
+	buf := s.pool.GetRaw()
+	defer s.pool.Put(buf)
+	for _, stripe := range st.InFlight() {
+		lost := st.Plans[stripe]
+		var cells []grid.Coord
+		for a := range st.Commits {
+			if a.Stripe == stripe {
+				cells = append(cells, grid.Coord{Row: a.Chunk, Col: a.Disk})
+			}
+		}
+		if len(cells) == 0 {
+			continue
+		}
+		sort.Slice(cells, func(i, j int) bool { return cells[i].Less(cells[j]) })
+		oracle, err := verify.NewOracle(s.code, lost)
+		if err != nil {
+			return err
+		}
+		for _, cell := range cells {
+			a := AddrOf(stripe, cell)
+			n, err := s.cfg.Backend.ReadChunk(a, buf)
+			switch {
+			case store.IsNotFound(err) || store.IsCorrupt(err):
+				// The fresh scan already re-flagged this one.
+				continue
+			case err != nil:
+				return err
+			case n != m.ChunkSize || PayloadCRC(buf[:n]) != st.Commits[a]:
+				s.flagResumedCorrupt(stripe, cell)
+				continue
+			}
+			if oracle.Solvable(cell) {
+				var readErr error
+				err := oracle.Check(cell, buf, func(src grid.Coord, dst chunk.Chunk) error {
+					rn, rerr := s.cfg.Backend.ReadChunk(AddrOf(stripe, src), dst)
+					if rerr != nil {
+						readErr = rerr
+						return rerr
+					}
+					if rn != len(dst) {
+						rerr = fmt.Errorf("rebuild: resume oracle read %v: %d bytes, want %d", src, rn, len(dst))
+						readErr = rerr
+						return rerr
+					}
+					s.res.VerifyReads++
+					return nil
+				})
+				switch {
+				case err == nil:
+				case readErr != nil && (store.IsNotFound(readErr) || store.IsCorrupt(readErr)):
+					// A source the oracle needs is itself damaged; the
+					// CRC match stands and repairing the stripe's fresh
+					// damage is what restores full verifiability.
+					continue
+				case readErr != nil:
+					return err
+				default:
+					// Structurally valid bytes that do not re-derive:
+					// the commit lied (tampering, silent corruption).
+					s.flagResumedCorrupt(stripe, cell)
+					continue
+				}
+			}
+			s.res.ResumeVerified++
+		}
+	}
+	return nil
+}
+
+// flagResumedCorrupt folds a failed resume verification into the damage
+// report, so the repair loop treats the chunk like any other corrupt
+// cell.
+func (s *service) flagResumedCorrupt(stripe int, cell grid.Coord) {
+	report := s.res.Report
+	var d *StripeDamage
+	for i := range report.Stripes {
+		if report.Stripes[i].Stripe == stripe {
+			d = &report.Stripes[i]
+			break
+		}
+	}
+	if d == nil {
+		report.Stripes = append(report.Stripes, StripeDamage{Stripe: stripe})
+		sort.Slice(report.Stripes, func(i, j int) bool { return report.Stripes[i].Stripe < report.Stripes[j].Stripe })
+		for i := range report.Stripes {
+			if report.Stripes[i].Stripe == stripe {
+				d = &report.Stripes[i]
+				break
+			}
+		}
+	}
+	for _, have := range d.Corrupt {
+		if have == cell {
+			return
+		}
+	}
+	d.Corrupt = mergeCell(d.Corrupt, cell)
+	report.CorruptChunks++
 }
 
 // service is the run state of one RunService call.
@@ -408,6 +664,10 @@ type service struct {
 	// stripe with the same cell pattern, so the (expensive) chain
 	// selection and decoder elimination are shared across stripes.
 	schemes map[string]*schemePlan
+
+	// journal is the write-ahead rebuild journal, nil for unjournaled
+	// runs (the default path stays byte-identical to prior releases).
+	journal *Journal
 }
 
 // schemePlan caches one lost-cell pattern's generated scheme, its
@@ -475,6 +735,11 @@ func (s *service) repairStripe(d StripeDamage) error {
 	for _, c := range plan.unsolved {
 		s.loseCell(d.Stripe, c)
 	}
+	if s.journal != nil {
+		if err := s.journal.AppendPlan(d.Stripe, lost); err != nil {
+			return err
+		}
+	}
 
 	scheme, oracle := plan.scheme, plan.oracle
 	if pa, ok := s.policy.(cache.PriorityAware); ok && s.policy != nil {
@@ -497,6 +762,20 @@ func (s *service) repairStripe(d StripeDamage) error {
 			return err
 		}
 		if esc == nil {
+			if s.res.Interrupted {
+				// A stop landed mid-stripe: the in-flight chunk was
+				// finished, but the stripe was not — no done record, so
+				// the next run resumes right here.
+				return nil
+			}
+			if s.journal != nil {
+				if err := s.journal.AppendStripeDone(d.Stripe); err != nil {
+					return err
+				}
+				if err := s.journal.Sync(); err != nil {
+					return err
+				}
+			}
 			return nil
 		}
 		// Escalate: the cell joins the lost set; regenerate for the
@@ -518,6 +797,15 @@ func (s *service) repairStripe(d StripeDamage) error {
 		if err != nil {
 			return err
 		}
+		if s.journal != nil {
+			// Journal the cumulative lost set (not just the remaining
+			// cells): resume verification derives its oracle from this
+			// record, and the full set is what keeps already-repaired
+			// cells solvable while never reading a lost source.
+			if err := s.journal.AppendPlan(d.Stripe, lost); err != nil {
+				return err
+			}
+		}
 		s.res.Regenerations++
 		scheme, oracle = plan.scheme, plan.oracle
 		for _, c := range plan.unsolved {
@@ -538,6 +826,12 @@ func (s *service) replayChains(stripe int, scheme *core.Scheme, oracle *verify.O
 		}
 	}
 	for _, sel := range scheme.Selected {
+		if s.stopRequested() {
+			// Graceful stop between chunk repairs: everything committed
+			// so far is journaled; the caller keeps the journal.
+			s.res.Interrupted = true
+			return nil, nil
+		}
 		if repaired[sel.Lost] || lostSet[sel.Lost] {
 			continue
 		}
@@ -565,6 +859,11 @@ func (s *service) replayChains(stripe int, scheme *core.Scheme, oracle *verify.O
 		}
 		if err := s.cfg.Backend.WriteChunk(AddrOf(stripe, sel.Lost), acc); err != nil {
 			return nil, err
+		}
+		if s.journal != nil {
+			if err := s.journal.AppendCommit(AddrOf(stripe, sel.Lost), PayloadCRC(acc)); err != nil {
+				return nil, err
+			}
 		}
 		s.res.BytesWritten += int64(len(acc))
 		s.res.ChunksRebuilt++

@@ -71,24 +71,81 @@ func parseDigits(s string) (int, bool) {
 // Dir is the directory-backed chunk store: one directory per disk under
 // a root, one self-describing chunk file per chunk (header + payload,
 // see manifest.go). Writes go through a temp file and rename, so a
-// reader sees either the old chunk or the new one.
+// reader sees either the old chunk or the new one, and by default the
+// temp file is fsynced before the rename and the parent directory after
+// it, so a committed chunk survives a crash or power cut.
 //
 // Dir methods are safe for concurrent use; concurrency control is the
 // filesystem's.
 type Dir struct {
-	root string
+	root   string
+	noSync bool
+}
+
+// DirOptions tunes a directory store.
+type DirOptions struct {
+	// NoSync disables the fsync-before-rename and parent-directory
+	// fsync on WriteChunk — the O_SYNC-style durability switch.
+	// Benchmarks and throwaway test stores opt out; anything holding
+	// real data should not: without the syncs a crash can lose a
+	// renamed chunk or leave a torn one.
+	NoSync bool
 }
 
 // OpenDir opens (creating if necessary) a directory store rooted at
-// root.
-func OpenDir(root string) (*Dir, error) {
+// root, with durable writes. Orphaned temp files from writes
+// interrupted by a crash are swept on open.
+func OpenDir(root string) (*Dir, error) { return OpenDirWith(root, DirOptions{}) }
+
+// OpenDirWith is OpenDir with explicit options.
+func OpenDirWith(root string, opts DirOptions) (*Dir, error) {
 	if root == "" {
 		return nil, fmt.Errorf("store: empty dirstore root")
 	}
 	if err := os.MkdirAll(root, 0o755); err != nil {
 		return nil, fmt.Errorf("store: creating root: %w", err)
 	}
-	return &Dir{root: root}, nil
+	d := &Dir{root: root, noSync: opts.NoSync}
+	if err := d.sweepOrphans(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// tmpChunkPrefix names in-flight chunk temp files. A crash between
+// CreateTemp and the rename strands one; sweepOrphans collects them on
+// the next open, so the debris of a killed writer never accumulates and
+// never shadows a real chunk (the parser ignores non-.chk names
+// anyway).
+const tmpChunkPrefix = ".tmp-chunk-"
+
+// sweepOrphans removes stranded temp chunk files from every disk
+// directory — the on-disk state a writer killed mid-WriteChunk leaves
+// behind.
+func (d *Dir) sweepOrphans() error {
+	disks, err := os.ReadDir(d.root)
+	if err != nil {
+		return fmt.Errorf("store: sweeping orphans: %w", err)
+	}
+	for _, disk := range disks {
+		if !disk.IsDir() || !strings.HasPrefix(disk.Name(), "disk-") {
+			continue
+		}
+		dir := filepath.Join(d.root, disk.Name())
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return fmt.Errorf("store: sweeping orphans: %w", err)
+		}
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasPrefix(e.Name(), tmpChunkPrefix) {
+				continue
+			}
+			if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+				return fmt.Errorf("store: sweeping orphan %s: %w", e.Name(), err)
+			}
+		}
+	}
+	return nil
 }
 
 // Root returns the store's root directory.
@@ -120,7 +177,12 @@ func (d *Dir) ReadChunk(a Addr, dst []byte) (int, error) {
 	return copy(dst, payload), nil
 }
 
-// WriteChunk implements Backend.
+// WriteChunk implements Backend. The durable sequence is write temp →
+// fsync temp → rename → fsync parent directory: the first fsync
+// guarantees the renamed file's bytes are on media (a rename alone can
+// commit the name before the data, leaving a torn chunk after a crash),
+// the second makes the rename itself survive. DirOptions.NoSync skips
+// both fsyncs.
 func (d *Dir) WriteChunk(a Addr, data []byte) error {
 	if !a.Valid() {
 		return fmt.Errorf("store: invalid address %v", a)
@@ -129,7 +191,7 @@ func (d *Dir) WriteChunk(a Addr, data []byte) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("store: creating disk directory: %w", err)
 	}
-	tmp, err := os.CreateTemp(dir, ".tmp-chunk-*")
+	tmp, err := os.CreateTemp(dir, tmpChunkPrefix+"*")
 	if err != nil {
 		return fmt.Errorf("store: writing %v: %w", a, err)
 	}
@@ -139,6 +201,13 @@ func (d *Dir) WriteChunk(a Addr, data []byte) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("store: writing %v: %w", a, err)
 	}
+	if !d.noSync {
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+			return fmt.Errorf("store: syncing %v: %w", a, err)
+		}
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("store: writing %v: %w", a, err)
@@ -147,7 +216,70 @@ func (d *Dir) WriteChunk(a Addr, data []byte) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("store: writing %v: %w", a, err)
 	}
+	if !d.noSync {
+		if err := syncDir(dir); err != nil {
+			return fmt.Errorf("store: syncing %v: %w", a, err)
+		}
+	}
 	return nil
+}
+
+// syncDir fsyncs a directory so a rename within it is durable.
+func syncDir(dir string) error {
+	f, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = f.Sync()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// CrashWrite materializes the on-disk debris of a WriteChunk killed
+// mid-flight: the first keep bytes of the encoded chunk land in an
+// orphan temp file and the final path is never touched. Fault drills
+// (internal/store/faultstore) use it to prove that a crashed write is
+// invisible after reopen — the old chunk (or its absence) is what
+// readers see, and sweepOrphans collects the temp file.
+func (d *Dir) CrashWrite(a Addr, data []byte, keep int) error {
+	if !a.Valid() {
+		return fmt.Errorf("store: invalid address %v", a)
+	}
+	dir := filepath.Join(d.root, DiskDirName(a.Disk))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("store: creating disk directory: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, tmpChunkPrefix+"*")
+	if err != nil {
+		return err
+	}
+	encoded := EncodeChunk(a, data)
+	keep = min(max(keep, 0), len(encoded))
+	_, err = tmp.Write(encoded[:keep])
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// TornWrite materializes a torn chunk at the final path: the first keep
+// bytes of the encoded chunk, in place, with no temp file and no
+// atomicity — the state a non-atomic overwrite interrupted by a crash
+// leaves behind. The codec guarantees such a chunk reads as ErrCorrupt,
+// never as wrong bytes; fault drills depend on that.
+func (d *Dir) TornWrite(a Addr, data []byte, keep int) error {
+	if !a.Valid() {
+		return fmt.Errorf("store: invalid address %v", a)
+	}
+	dir := filepath.Join(d.root, DiskDirName(a.Disk))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("store: creating disk directory: %w", err)
+	}
+	encoded := EncodeChunk(a, data)
+	keep = min(max(keep, 0), len(encoded))
+	return os.WriteFile(d.chunkPath(a), encoded[:keep], 0o644)
 }
 
 // Delete implements Backend.

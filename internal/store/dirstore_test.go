@@ -140,6 +140,112 @@ func TestParseChunkFileNameRoundTrip(t *testing.T) {
 	}
 }
 
+// TestDirSweepsOrphansOnOpen pins the crash-recovery half of the atomic
+// write: temp files stranded by a killed writer are removed when the
+// store is reopened, and the chunks themselves are untouched.
+func TestDirSweepsOrphansOnOpen(t *testing.T) {
+	d, a, want := openDirT(t)
+	// Strand debris in an existing disk dir and in a fresh one.
+	if err := d.CrashWrite(a, []byte("new bytes that must not land"), 20); err != nil {
+		t.Fatal(err)
+	}
+	other := Addr{Disk: 5, Stripe: 0, Chunk: 0}
+	if err := d.CrashWrite(other, payload(other, 64), 10); err != nil {
+		t.Fatal(err)
+	}
+	if n := countOrphans(t, d.Root()); n != 2 {
+		t.Fatalf("stranded %d orphans, want 2", n)
+	}
+
+	reopened, err := OpenDir(d.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := countOrphans(t, d.Root()); n != 0 {
+		t.Fatalf("%d orphans survive reopen, want 0", n)
+	}
+	// The crashed overwrite is invisible: old bytes read back.
+	dst := make([]byte, 1024)
+	n, err := reopened.ReadChunk(a, dst)
+	if err != nil || !equalBytes(dst[:n], want) {
+		t.Fatalf("old chunk not intact after crashed overwrite: %d bytes, %v", n, err)
+	}
+	// The crashed first write is invisible: typed not-found.
+	if _, err := reopened.ReadChunk(other, dst); !IsNotFound(err) {
+		t.Fatalf("crashed first write reads as %v, want ErrNotFound", err)
+	}
+}
+
+// TestDirTornWriteReadsCorrupt pins that a torn in-place overwrite is
+// detected by the codec, never served as bytes.
+func TestDirTornWriteReadsCorrupt(t *testing.T) {
+	d, a, _ := openDirT(t)
+	if err := d.TornWrite(a, payload(a, 512), HeaderSize+100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.ReadChunk(a, make([]byte, 1024)); !IsCorrupt(err) {
+		t.Fatalf("torn chunk reads as %v, want ErrCorrupt", err)
+	}
+	if _, err := d.Stat(a); !IsCorrupt(err) {
+		t.Fatalf("torn chunk stats as %v, want ErrCorrupt", err)
+	}
+}
+
+// TestDirNoSyncOption pins that the durability opt-out still writes
+// correct chunks — only the fsyncs differ.
+func TestDirNoSyncOption(t *testing.T) {
+	d, err := OpenDirWith(t.TempDir(), DirOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Addr{Disk: 0, Stripe: 1, Chunk: 2}
+	want := payload(a, 256)
+	if err := d.WriteChunk(a, want); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, 256)
+	n, err := d.ReadChunk(a, dst)
+	if err != nil || !equalBytes(dst[:n], want) {
+		t.Fatalf("no-sync write read back wrong: %d bytes, %v", n, err)
+	}
+}
+
+func countOrphans(t *testing.T, root string) int {
+	t.Helper()
+	n := 0
+	disks, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, disk := range disks {
+		if !disk.IsDir() {
+			continue
+		}
+		entries, err := os.ReadDir(filepath.Join(root, disk.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if len(e.Name()) >= len(tmpChunkPrefix) && e.Name()[:len(tmpChunkPrefix)] == tmpChunkPrefix {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func equalBytes(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 func flipByte(t *testing.T, path string, off int) {
 	t.Helper()
 	data, err := os.ReadFile(path)

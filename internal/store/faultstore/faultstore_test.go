@@ -1,0 +1,203 @@
+package faultstore
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"fbf/internal/store"
+)
+
+func testPayload(a store.Addr, size int) []byte {
+	rng := rand.New(rand.NewSource(int64(a.Disk)<<40 ^ int64(a.Stripe)<<16 ^ int64(a.Chunk) + 1))
+	b := make([]byte, size)
+	rng.Read(b)
+	return b
+}
+
+// TestPassThrough pins that a zero plan is a transparent wrapper.
+func TestPassThrough(t *testing.T) {
+	s := Wrap(store.NewMem(), Plan{})
+	a := store.Addr{Disk: 1, Stripe: 2, Chunk: 3}
+	want := testPayload(a, 128)
+	if err := s.WriteChunk(a, want); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, 128)
+	n, err := s.ReadChunk(a, dst)
+	if err != nil || !bytes.Equal(dst[:n], want) {
+		t.Fatalf("read through zero plan: %d bytes, %v", n, err)
+	}
+	if _, err := s.Stat(a); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := s.List(a.Disk); err != nil || len(got) != 1 {
+		t.Fatalf("List = %v, %v", got, err)
+	}
+	if err := s.Delete(a); err != nil {
+		t.Fatal(err)
+	}
+	if s.Ops() != 5 {
+		t.Fatalf("Ops = %d, want 5", s.Ops())
+	}
+}
+
+// TestDeterministicFaults pins the seeded-coin contract: two stores with
+// the same plan over the same operation sequence inject identical
+// faults; a different seed injects a different set.
+func TestDeterministicFaults(t *testing.T) {
+	sequence := func(seed int64) []bool {
+		s := Wrap(store.NewMem(), Plan{Seed: seed, WriteErrRate: 0.3, ReadErrRate: 0.3})
+		var outcomes []bool
+		data := make([]byte, 32)
+		dst := make([]byte, 32)
+		for i := 0; i < 64; i++ {
+			a := store.Addr{Disk: 0, Stripe: i, Chunk: 0}
+			outcomes = append(outcomes, s.WriteChunk(a, data) == nil)
+			_, err := s.ReadChunk(a, dst)
+			outcomes = append(outcomes, err == nil || store.IsNotFound(err))
+		}
+		return outcomes
+	}
+	a, b, c := sequence(7), sequence(7), sequence(8)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at op %d", i)
+		}
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical fault sequences")
+	}
+	// And at a 0.3 rate some of each outcome must appear.
+	failures := 0
+	for _, ok := range a {
+		if !ok {
+			failures++
+		}
+	}
+	if failures == 0 || failures == len(a) {
+		t.Fatalf("fault rate not exercised: %d/%d failures", failures, len(a))
+	}
+}
+
+// TestInjectedErrorsAreTyped pins the error taxonomy: injected faults
+// match their sentinels and never masquerade as NotFound/Corrupt.
+func TestInjectedErrorsAreTyped(t *testing.T) {
+	s := Wrap(store.NewMem(), Plan{Seed: 1, ReadErrRate: 1})
+	_, err := s.ReadChunk(store.Addr{}, make([]byte, 8))
+	if !errors.Is(err, ErrInjectedIO) {
+		t.Fatalf("injected read error = %v, want ErrInjectedIO", err)
+	}
+	if store.IsNotFound(err) || store.IsCorrupt(err) {
+		t.Fatalf("injected error leaks into the store taxonomy: %v", err)
+	}
+}
+
+// TestNoSpaceBudget pins ENOSPC: the first N writes succeed, every
+// later one fails, and reads are unaffected.
+func TestNoSpaceBudget(t *testing.T) {
+	s := Wrap(store.NewMem(), Plan{NoSpaceAfterWrites: 3})
+	data := make([]byte, 16)
+	for i := 0; i < 3; i++ {
+		if err := s.WriteChunk(store.Addr{Stripe: i}, data); err != nil {
+			t.Fatalf("write %d within budget: %v", i, err)
+		}
+	}
+	for i := 3; i < 6; i++ {
+		if err := s.WriteChunk(store.Addr{Stripe: i}, data); !errors.Is(err, ErrNoSpace) {
+			t.Fatalf("write %d over budget = %v, want ErrNoSpace", i, err)
+		}
+	}
+	dst := make([]byte, 16)
+	if _, err := s.ReadChunk(store.Addr{Stripe: 0}, dst); err != nil {
+		t.Fatalf("read after ENOSPC: %v", err)
+	}
+}
+
+// TestCrashPointHaltsEverything pins the crash semantics: operation N
+// and everything after fail with ErrCrashed, across all five methods.
+func TestCrashPointHaltsEverything(t *testing.T) {
+	mem := store.NewMem()
+	a := store.Addr{Disk: 0, Stripe: 0, Chunk: 0}
+	if err := mem.WriteChunk(a, make([]byte, 8)); err != nil {
+		t.Fatal(err)
+	}
+	s := Wrap(mem, Plan{CrashAfterOps: 3})
+	if _, err := s.Stat(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.List(0); err != nil {
+		t.Fatal(err)
+	}
+	if s.Crashed() {
+		t.Fatal("crashed before the crash point")
+	}
+	checks := []func() error{
+		func() error { _, err := s.ReadChunk(a, make([]byte, 8)); return err },
+		func() error { return s.WriteChunk(a, make([]byte, 8)) },
+		func() error { return s.Delete(a) },
+		func() error { _, err := s.List(0); return err },
+		func() error { _, err := s.Stat(a); return err },
+	}
+	for i, op := range checks {
+		if err := op(); !errors.Is(err, ErrCrashed) {
+			t.Fatalf("op %d after crash point = %v, want ErrCrashed", i, err)
+		}
+	}
+	if !s.Crashed() {
+		t.Fatal("Crashed() false after the crash point")
+	}
+	// The medium is untouched by post-crash attempts.
+	if n, err := mem.ReadChunk(a, make([]byte, 8)); err != nil || n != 8 {
+		t.Fatalf("underlying chunk disturbed: %d, %v", n, err)
+	}
+}
+
+// TestTornWriteLeavesCorruptChunk pins the torn-write debris on a
+// codec-carrying backend: the injected EIO leaves a truncated chunk at
+// the final path that reads back as typed ErrCorrupt — never as bytes.
+func TestTornWriteLeavesCorruptChunk(t *testing.T) {
+	dir, err := store.OpenDirWith(t.TempDir(), store.DirOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Wrap(dir, Plan{Seed: 3, WriteErrRate: 1, TornWrites: true})
+	a := store.Addr{Disk: 2, Stripe: 5, Chunk: 1}
+	if err := s.WriteChunk(a, testPayload(a, 256)); !errors.Is(err, ErrInjectedIO) {
+		t.Fatalf("torn write = %v, want ErrInjectedIO", err)
+	}
+	if _, err := dir.ReadChunk(a, make([]byte, 512)); !store.IsCorrupt(err) {
+		t.Fatalf("torn chunk reads as %v, want ErrCorrupt", err)
+	}
+}
+
+// TestStallInjection pins the latency hook: every StallEvery-th
+// operation sleeps Stall, through the injectable sleeper.
+func TestStallInjection(t *testing.T) {
+	s := Wrap(store.NewMem(), Plan{StallEvery: 2, Stall: 5 * time.Millisecond})
+	var slept []time.Duration
+	s.sleep = func(d time.Duration) { slept = append(slept, d) }
+	data := make([]byte, 8)
+	for i := 0; i < 6; i++ {
+		if err := s.WriteChunk(store.Addr{Stripe: i}, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(slept) != 3 {
+		t.Fatalf("6 ops at StallEvery=2 slept %d times, want 3", len(slept))
+	}
+	for _, d := range slept {
+		if d != 5*time.Millisecond {
+			t.Fatalf("stall = %v, want 5ms", d)
+		}
+	}
+}

@@ -68,6 +68,20 @@ func (o *Obj) WriteChunk(a Addr, data []byte) error {
 	return o.api.Put(objKey(a), EncodeChunk(a, data))
 }
 
+// TornWrite materializes a torn object under a's key: the first keep
+// bytes of the encoded chunk. Real object stores commit a PUT
+// atomically, so this models a misbehaving or non-S3-semantics store;
+// the codec guarantees the torn object reads as ErrCorrupt. Fault
+// drills (internal/store/faultstore) use it.
+func (o *Obj) TornWrite(a Addr, data []byte, keep int) error {
+	if !a.Valid() {
+		return fmt.Errorf("store: invalid address %v", a)
+	}
+	encoded := EncodeChunk(a, data)
+	keep = min(max(keep, 0), len(encoded))
+	return o.api.Put(objKey(a), encoded[:keep])
+}
+
 // Delete implements Backend.
 func (o *Obj) Delete(a Addr) error {
 	if !a.Valid() {
