@@ -5,6 +5,8 @@
 // Usage:
 //
 //	fbfsim [-fig 8|9|10|11] [-table 4|5] [-ablation]
+//	       [-serving] [-rate 100,200,400] [-slo-p99 MS] [-zipf-s S]
+//	       [-write-frac F] [-hot-frac F] [-ops N]
 //	       [-durability] [-ure-rates 0,0.001,0.01] [-transient-rate R]
 //	       [-fault-seed N] [-second-failure-at MS] [-third-failure-at MS] [-trials N]
 //	       [-codes star,triplestar,tip,hdd1] [-p 7,11,13]
@@ -50,6 +52,13 @@ func main() {
 	ablation := flag.Bool("ablation", false, "run the chain-selection scheme ablation")
 	online := flag.Bool("online", false, "run the online-recovery (foreground load) experiment")
 	modes := flag.Bool("modes", false, "run the SOR-vs-DOR reconstruction-mode ablation")
+	serving := flag.Bool("serving", false, "run the heavy-traffic serving experiment (foreground latency frontier per policy under rebuild)")
+	ratesFlag := flag.String("rate", "100,200,400", "comma-separated client rates (ops/sec) for -serving")
+	sloP99 := flag.Float64("slo-p99", 0, "foreground p99 SLO in ms for -serving; > 0 arms the adaptive QoS rebuild throttle")
+	zipfS := flag.Float64("zipf-s", 1.2, "stripe-popularity Zipf skew for -serving (<= 1 uniform)")
+	writeFrac := flag.Float64("write-frac", 0.1, "parity read-modify-write fraction for -serving")
+	hotFrac := flag.Float64("hot-frac", 0.3, "fraction of -serving traffic aimed at stripes under repair")
+	servingOps := flag.Int("ops", 0, "foreground operations per -serving run (default 2000)")
 	durability := flag.Bool("durability", false, "run the fault-injection durability sweep (data-loss probability and repair makespan vs URE rate)")
 	faultSeed := flag.Int64("fault-seed", 1, "fault-schedule RNG seed for -durability")
 	ureRatesFlag := flag.String("ure-rates", "0,0.001,0.01", "comma-separated per-address URE rates for -durability")
@@ -176,7 +185,7 @@ func main() {
 		}()
 	}
 
-	runAll := *figFlag == 0 && *tableFlag == 0 && !*ablation && !*online && !*modes && !*durability
+	runAll := *figFlag == 0 && *tableFlag == 0 && !*ablation && !*online && !*modes && !*durability && !*serving
 	out := os.Stdout
 
 	runFig := func(n int) {
@@ -287,6 +296,41 @@ func main() {
 			log.Fatalf("modes: %v", err)
 		}
 		if err := fbf.RenderModes(out, rows); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintln(out)
+	}
+
+	runServing := func() {
+		p := params
+		if *codesFlag == "" {
+			p.Codes = []string{"tip"}
+		}
+		if *primesFlag == "" {
+			p.Primes = []int{13}
+		}
+		rates, err := cli.ParseFloatsFlag("rate", *ratesFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sc := fbf.ServingSweepConfig{
+			Rates: rates, Ops: *servingOps, Seed: p.Seed,
+			ZipfS: *zipfS, WriteFrac: *writeFrac, HotFrac: *hotFrac,
+		}
+		if *sloP99 > 0 {
+			sc.QoS = &fbf.QoSConfig{SLOp99Ms: *sloP99}
+		}
+		rows, err := fbf.ServingSweep(p, sc)
+		if err != nil {
+			log.Fatalf("serving: %v", err)
+		}
+		if *csv {
+			if err := fbf.RenderServingCSV(out, rows); err != nil {
+				log.Fatal(err)
+			}
+			return
+		}
+		if err := fbf.RenderServing(out, rows); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Fprintln(out)
@@ -430,6 +474,9 @@ func main() {
 		}
 		if *durability {
 			runDurability()
+		}
+		if *serving {
+			runServing()
 		}
 	}
 }

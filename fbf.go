@@ -58,6 +58,7 @@ import (
 	"fbf/internal/store/faultstore"
 	"fbf/internal/trace"
 	"fbf/internal/verify"
+	"fbf/internal/workload"
 )
 
 // Geometry types.
@@ -191,6 +192,14 @@ type (
 	TraceConfig = trace.Config
 	// SizeDist selects the error-size distribution.
 	SizeDist = trace.SizeDist
+	// WorkloadConfig parameterizes the deterministic open-loop
+	// Zipf/YCSB-style foreground generator serving runs replay.
+	WorkloadConfig = workload.Config
+	// WorkloadGenerator streams foreground operations; the same config
+	// yields a byte-identical stream on any host.
+	WorkloadGenerator = workload.Generator
+	// WorkloadOp is one generated foreground operation.
+	WorkloadOp = workload.Op
 )
 
 // Error-size distributions.
@@ -208,6 +217,14 @@ var (
 	WriteTraceCSV = trace.WriteCSV
 	// ReadTraceCSV parses a serialized trace.
 	ReadTraceCSV = trace.ReadCSV
+	// NewWorkload builds a foreground workload generator.
+	NewWorkload = workload.New
+	// WorkloadArrivalAt is the pure open-loop arrival-time spec
+	// (generator timestamps are exactly this arithmetic).
+	WorkloadArrivalAt = workload.ArrivalAt
+	// WorkloadZipfPMF is the analytic Zipf probability mass function the
+	// generator's stripe draws are chi-square-tested against.
+	WorkloadZipfPMF = workload.ZipfPMF
 )
 
 // Simulation.
@@ -219,6 +236,24 @@ type (
 	// AppWorkload parameterizes a foreground read stream for online
 	// recovery.
 	AppWorkload = rebuild.AppWorkload
+	// ServingConfig parameterizes the heavy-traffic foreground stream of
+	// a serving run (SimConfig.Serving): open-loop Zipf read/write mix
+	// with per-stripe-class latency percentiles and an optional QoS
+	// rebuild throttle.
+	ServingConfig = rebuild.ServingConfig
+	// ServingResult aggregates the foreground stream's metrics
+	// (SimResult.Serving).
+	ServingResult = rebuild.ServingResult
+	// ServingClassStats aggregates one stripe class's served requests.
+	ServingClassStats = rebuild.ServingClassStats
+	// StripeClass labels a foreground request by the repair state of its
+	// target stripe at arrival.
+	StripeClass = rebuild.StripeClass
+	// QoSConfig parameterizes the adaptive AIMD rebuild throttle of a
+	// serving run.
+	QoSConfig = rebuild.QoSConfig
+	// AIMDStep records one judged QoS decision window.
+	AIMDStep = rebuild.AIMDStep
 	// Mode selects SOR or DOR parallelization.
 	Mode = rebuild.Mode
 	// DiskScheduler selects a disk queue discipline.
@@ -266,6 +301,13 @@ const (
 	SchedLOOK = disk.SchedLOOK
 )
 
+// Stripe classes of serving-mode foreground requests.
+const (
+	ClassHealthy  = rebuild.ClassHealthy
+	ClassDegraded = rebuild.ClassDegraded
+	ClassLost     = rebuild.ClassLost
+)
+
 // Simulated-time units.
 const (
 	Microsecond = sim.Microsecond
@@ -277,6 +319,9 @@ const (
 var (
 	// Run executes a reconstruction and returns the metrics.
 	Run = rebuild.Run
+	// AIMDNext is the pure reference spec of one QoS controller decision;
+	// serving runs' recorded traces are model-checked against it.
+	AIMDNext = rebuild.AIMDNext
 	// PaperFixedLatency is the paper's 10 ms disk model.
 	PaperFixedLatency = disk.PaperFixedLatency
 	// NewPositional builds a positional disk model.
@@ -298,6 +343,10 @@ type (
 	DurabilityConfig = experiments.DurabilityConfig
 	// DurabilityRow is one durability sweep cell.
 	DurabilityRow = experiments.DurabilityRow
+	// ServingSweepConfig configures the heavy-traffic serving experiment.
+	ServingSweepConfig = experiments.ServingSweep
+	// ServingRow is one latency/throughput frontier point.
+	ServingRow = experiments.ServingRow
 )
 
 // Experiment functions (one per paper artefact, plus renderers).
@@ -343,6 +392,13 @@ var (
 	RenderTable5 = experiments.RenderTable5
 	// RenderSchemeAblation prints the scheme ablation table.
 	RenderSchemeAblation = experiments.RenderSchemeAblation
+	// ServingSweep runs the serving experiment: latency/throughput
+	// frontiers per cache policy under rebuild, optionally QoS-throttled.
+	ServingSweep = experiments.Serving
+	// RenderServing prints the serving frontier table.
+	RenderServing = experiments.RenderServing
+	// RenderServingCSV prints the serving frontier as CSV.
+	RenderServingCSV = experiments.RenderServingCSV
 )
 
 // Observability (deterministic tracing and metrics; see "Observability"

@@ -205,3 +205,70 @@ func TestPublicAPICrashSafety(t *testing.T) {
 		t.Fatalf("journal survives completed resume: %v", err)
 	}
 }
+
+// TestPublicAPIServing exercises the serving surface through the
+// facade: workload generator, a QoS-throttled serving run, and the
+// frontier sweep.
+func TestPublicAPIServing(t *testing.T) {
+	gen, err := fbf.NewWorkload(fbf.WorkloadConfig{
+		Ops: 10, Rate: 100, Stripes: 8,
+		Cells: []fbf.Coord{{Row: 0, Col: 0}}, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, ok := gen.Next()
+	if !ok || op.At != fbf.WorkloadArrivalAt(0, 100) {
+		t.Fatalf("generator broken through facade: %+v ok=%v", op, ok)
+	}
+	if pmf := fbf.WorkloadZipfPMF(1.5, 4); len(pmf) != 4 {
+		t.Fatalf("ZipfPMF broken through facade: %v", pmf)
+	}
+	if next := fbf.AIMDNext(100, true, fbf.QoSConfig{SLOp99Ms: 50}); next != 50 {
+		t.Fatalf("AIMDNext broken through facade: %v", next)
+	}
+
+	code := fbf.MustNewCode("tip", 7)
+	errs, err := fbf.GenerateTrace(code, fbf.TraceConfig{Groups: 8, Stripes: 128, Seed: 2, Disk: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fbf.Run(fbf.SimConfig{
+		Code: code, Policy: "lru", Strategy: fbf.StrategyLooped,
+		Workers: 4, CacheChunks: 32, Stripes: 128,
+		Serving: &fbf.ServingConfig{
+			Ops: 200, Rate: 500, ZipfS: 1.2, WriteFrac: 0.1, HotFrac: 0.3, Seed: 5,
+			QoS: &fbf.QoSConfig{SLOp99Ms: 50},
+		},
+	}, errs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := res.Serving
+	if sr == nil || sr.Ops() == 0 || sr.Hist.Total() != sr.Ops() {
+		t.Fatalf("serving result broken through facade: %+v", sr)
+	}
+	if sr.Classes[fbf.ClassHealthy].Ops+sr.Classes[fbf.ClassDegraded].Ops+sr.Classes[fbf.ClassLost].Ops != sr.Ops() {
+		t.Fatal("class split broken through facade")
+	}
+
+	params := fbf.DefaultExperimentParams()
+	params.Codes = []string{"tip"}
+	params.Primes = []int{5}
+	params.Policies = []string{"lru"}
+	params.CacheSizesMB = []int{1}
+	params.Groups = 8
+	params.Stripes = 128
+	params.Workers = 4
+	rows, err := fbf.ServingSweep(params, fbf.ServingSweepConfig{Rates: []float64{200}, Ops: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := fbf.RenderServing(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "SERVING") {
+		t.Error("serving rendering broken through facade")
+	}
+}

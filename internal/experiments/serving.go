@@ -1,0 +1,212 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"fbf/internal/rebuild"
+)
+
+// ServingSweep configures the heavy-traffic serving experiment: the
+// foreground stream replayed against every (code, prime, policy) of the
+// Params axes at each client rate, tracing out a latency/throughput
+// frontier per cache policy.
+type ServingSweep struct {
+	Rates []float64 // client arrival rates to sweep (ops/sec, the frontier's x axis)
+
+	Ops       int     // foreground operations per run (default 2000)
+	ZipfS     float64 // stripe-popularity skew; <= 1 uniform (default 1.2)
+	WriteFrac float64 // parity read-modify-write fraction (default 0.1)
+	HotFrac   float64 // fraction of traffic aimed at stripes under repair (default 0.3)
+	Seed      int64   // workload RNG seed (default Params.Seed)
+
+	// QoS, when non-nil, arms the adaptive rebuild throttle on every run
+	// (the same config at each point, so frontiers with and without the
+	// throttle are directly comparable).
+	QoS *rebuild.QoSConfig
+}
+
+// withDefaults fills unset knobs. The zero Seed falls back to the sweep
+// seed so `-serving` alone is fully reproducible.
+func (s ServingSweep) withDefaults(p Params) ServingSweep {
+	if s.Ops == 0 {
+		s.Ops = 2000
+	}
+	if s.ZipfS == 0 {
+		s.ZipfS = 1.2
+	}
+	if s.WriteFrac == 0 {
+		s.WriteFrac = 0.1
+	}
+	if s.HotFrac == 0 {
+		s.HotFrac = 0.3
+	}
+	if s.Seed == 0 {
+		s.Seed = p.Seed
+	}
+	return s
+}
+
+// ServingRow is one frontier point: a policy serving the foreground
+// stream at one client rate while the rebuild runs.
+type ServingRow struct {
+	Code   string
+	P      int
+	Policy string
+	Rate   float64 // offered client load (ops/sec)
+
+	Ops    uint64 // completed foreground operations
+	Failed uint64 // unservable operations (no surviving chain / members)
+
+	AvgMs  float64
+	P50Ms  float64
+	P99Ms  float64
+	P999Ms float64
+
+	// Per-class p99 latency: healthy stripes, degraded stripes (losses
+	// elsewhere in the stripe), lost targets (reconstructed reads).
+	HealthyP99Ms  float64
+	DegradedP99Ms float64
+	LostP99Ms     float64
+
+	HitRatio  float64 // foreground cache-probe hit ratio
+	RebuildMs float64 // rebuild makespan under this load
+
+	// QoS accounting (zero without a QoS config).
+	QoSSteps    int     // judged AIMD decision windows
+	RebuildRate float64 // final rebuild IO/s/disk
+}
+
+// Serving runs the serving experiment: for every (code, prime, policy)
+// of the Params axes and every client rate, one rebuild serves the
+// foreground stream, and the row records its latency percentiles split
+// by stripe class. One error trace is generated per (code, prime) and
+// shared read-only by that pair's rows; runs execute concurrently up to
+// Params.Parallelism in the serial enumeration order (codes, primes,
+// policies, rates), and — like every sweep — the results are identical
+// at any parallelism level.
+func Serving(p Params, sc ServingSweep) ([]ServingRow, error) {
+	if len(sc.Rates) == 0 {
+		return nil, fmt.Errorf("experiments: no serving rates configured")
+	}
+	for _, r := range sc.Rates {
+		if !(r > 0) {
+			return nil, fmt.Errorf("experiments: non-positive serving rate %v", r)
+		}
+	}
+	if err := p.validateAxes(true, false); err != nil {
+		return nil, err
+	}
+	if err := p.validateEngine(); err != nil {
+		return nil, err
+	}
+	sc = sc.withDefaults(p)
+	// The frontier sweeps rates, not cache sizes: each run uses the first
+	// configured cache size (64 MB when the axis was left at defaults).
+	sizeMB := 64
+	if len(p.CacheSizesMB) > 0 {
+		sizeMB = p.CacheSizesMB[0]
+	}
+	preps, err := prepareTraces(p)
+	if err != nil {
+		return nil, err
+	}
+	perPrep := len(p.Policies) * len(sc.Rates)
+	rows := make([]ServingRow, len(preps)*perPrep)
+	err = forEachIndexed(p.parallelism(), len(rows), p.Progress, func(i int) error {
+		prep := preps[i/perPrep]
+		policy := p.Policies[(i%perPrep)/len(sc.Rates)]
+		rate := sc.Rates[i%len(sc.Rates)]
+		var qos *rebuild.QoSConfig
+		if sc.QoS != nil {
+			q := *sc.QoS
+			qos = &q
+		}
+		cfg := rebuild.Config{
+			Code: prep.code, Policy: policy, Strategy: p.Strategy,
+			Workers: p.Workers, CacheChunks: p.CacheChunks(sizeMB),
+			ChunkSize: p.ChunkSizeKB * 1024, Stripes: p.Stripes,
+			Serving: &rebuild.ServingConfig{
+				Ops: sc.Ops, Rate: rate, ZipfS: sc.ZipfS,
+				WriteFrac: sc.WriteFrac, HotFrac: sc.HotFrac,
+				Seed: sc.Seed, QoS: qos,
+			},
+		}
+		res, err := rebuild.Run(cfg, prep.errors)
+		if err != nil {
+			return fmt.Errorf("experiments: serving %s(p=%d) %s rate=%g: %w", prep.codeName, prep.prime, policy, rate, err)
+		}
+		sr := res.Serving
+		rows[i] = ServingRow{
+			Code: prep.codeName, P: prep.prime, Policy: policy, Rate: rate,
+			Ops: sr.Ops(), Failed: sr.FailedReads + sr.FailedWrites,
+			AvgMs: sr.AvgMs(), P50Ms: sr.P(0.5), P99Ms: sr.P(0.99), P999Ms: sr.P(0.999),
+			HealthyP99Ms:  sr.Classes[rebuild.ClassHealthy].P(0.99),
+			DegradedP99Ms: sr.Classes[rebuild.ClassDegraded].P(0.99),
+			LostP99Ms:     sr.Classes[rebuild.ClassLost].P(0.99),
+			HitRatio:      sr.HitRatio(),
+			RebuildMs:     res.Makespan.Milliseconds(),
+			QoSSteps:      len(sr.QoSTrace),
+			RebuildRate:   sr.FinalRebuildRate,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// RenderServing prints the latency/throughput frontier table.
+func RenderServing(w io.Writer, rows []ServingRow) error {
+	if _, err := fmt.Fprintln(w, "== SERVING: Foreground Latency Frontier Under Partial Stripe Rebuild =="); err != nil {
+		return err
+	}
+	table := [][]string{{
+		"code", "p", "policy", "rate", "ops", "failed", "hit",
+		"avg(ms)", "p50(ms)", "p99(ms)", "p999(ms)",
+		"p99-h", "p99-d", "p99-l", "rebuild(ms)", "qos-rate",
+	}}
+	for _, r := range rows {
+		qosRate := "-"
+		if r.QoSSteps > 0 {
+			qosRate = fmt.Sprintf("%.0f", r.RebuildRate)
+		}
+		table = append(table, []string{
+			r.Code,
+			fmt.Sprintf("%d", r.P),
+			r.Policy,
+			fmt.Sprintf("%g", r.Rate),
+			fmt.Sprintf("%d", r.Ops),
+			fmt.Sprintf("%d", r.Failed),
+			fmt.Sprintf("%.4f", r.HitRatio),
+			fmt.Sprintf("%.2f", r.AvgMs),
+			fmt.Sprintf("%.2f", r.P50Ms),
+			fmt.Sprintf("%.2f", r.P99Ms),
+			fmt.Sprintf("%.2f", r.P999Ms),
+			fmt.Sprintf("%.2f", r.HealthyP99Ms),
+			fmt.Sprintf("%.2f", r.DegradedP99Ms),
+			fmt.Sprintf("%.2f", r.LostP99Ms),
+			fmt.Sprintf("%.2f", r.RebuildMs),
+			qosRate,
+		})
+	}
+	return renderAligned(w, table)
+}
+
+// RenderServingCSV prints the frontier as CSV.
+func RenderServingCSV(w io.Writer, rows []ServingRow) error {
+	if _, err := fmt.Fprintln(w, "code,p,policy,rate,ops,failed,hit_ratio,avg_ms,p50_ms,p99_ms,p999_ms,healthy_p99_ms,degraded_p99_ms,lost_p99_ms,rebuild_ms,qos_steps,qos_rate"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%s,%d,%s,%g,%d,%d,%g,%g,%g,%g,%g,%g,%g,%g,%g,%d,%g\n",
+			r.Code, r.P, r.Policy, r.Rate, r.Ops, r.Failed, r.HitRatio,
+			r.AvgMs, r.P50Ms, r.P99Ms, r.P999Ms,
+			r.HealthyP99Ms, r.DegradedP99Ms, r.LostP99Ms,
+			r.RebuildMs, r.QoSSteps, r.RebuildRate); err != nil {
+			return err
+		}
+	}
+	return nil
+}

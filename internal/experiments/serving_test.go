@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fbf/internal/rebuild"
+)
+
+// servingParams is the cheapest non-degenerate serving sweep: one code,
+// two policies, three rates spanning light load to contention.
+func servingParams() (Params, ServingSweep) {
+	p := goldenParams()
+	sc := ServingSweep{Rates: []float64{100, 400, 1600}, Ops: 800, Seed: 9}
+	return p, sc
+}
+
+func renderServing(t *testing.T, parallelism int) ([]ServingRow, []byte) {
+	t.Helper()
+	p, sc := servingParams()
+	p.Parallelism = parallelism
+	rows, err := Serving(p, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := RenderServing(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := RenderServingCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	return rows, buf.Bytes()
+}
+
+// TestServingGolden pins the serving pipeline — workload generation,
+// class-split latency accounting and both renderers — byte-for-byte
+// against a golden file, and requires the parallel sweep to reproduce
+// the serial one exactly. Regenerate with
+// `go test ./internal/experiments -run ServingGolden -update`.
+func TestServingGolden(t *testing.T) {
+	_, serial := renderServing(t, 1)
+	_, parallel := renderServing(t, 8)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("parallel serving sweep differs from serial:\n--- parallelism 1 ---\n%s\n--- parallelism 8 ---\n%s", serial, parallel)
+	}
+	golden := filepath.Join("testdata", "serving_golden.txt")
+	if *updateGolden {
+		if err := os.WriteFile(golden, serial, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden file (run with -update to create it): %v", err)
+	}
+	if !bytes.Equal(serial, want) {
+		t.Fatalf("serving output drifted from golden file %s:\n--- got ---\n%s\n--- want ---\n%s", golden, serial, want)
+	}
+}
+
+// TestServingFrontierMonotone checks the frontier's shape: within each
+// (code, p, policy) series, raising the offered client rate must not
+// lower the foreground p99 — the sweep enumerates rates innermost, so
+// each policy's rows are consecutive and rate-ordered.
+func TestServingFrontierMonotone(t *testing.T) {
+	rows, _ := renderServing(t, 0)
+	_, sc := servingParams()
+	nRates := len(sc.Rates)
+	if len(rows)%nRates != 0 {
+		t.Fatalf("%d rows not divisible by %d rates", len(rows), nRates)
+	}
+	for s := 0; s < len(rows); s += nRates {
+		series := rows[s : s+nRates]
+		for i := 1; i < nRates; i++ {
+			if series[i].Rate <= series[i-1].Rate {
+				t.Fatalf("series %s(p=%d) %s: rates not ascending: %v then %v",
+					series[i].Code, series[i].P, series[i].Policy, series[i-1].Rate, series[i].Rate)
+			}
+			if series[i].P99Ms < series[i-1].P99Ms {
+				t.Errorf("%s(p=%d) %s: p99 fell from %.2f ms at rate %g to %.2f ms at rate %g",
+					series[i].Code, series[i].P, series[i].Policy,
+					series[i-1].P99Ms, series[i-1].Rate, series[i].P99Ms, series[i].Rate)
+			}
+		}
+	}
+}
+
+// TestServingQoSSweep runs the sweep with the throttle armed (the
+// concurrent path exercised under -race) and checks the QoS columns.
+func TestServingQoSSweep(t *testing.T) {
+	p, sc := servingParams()
+	p.Parallelism = 4
+	sc.Rates = []float64{400}
+	sc.QoS = &rebuild.QoSConfig{SLOp99Ms: 50, InitialRate: 10, MaxRate: 50}
+	rows, err := Serving(p, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.QoSSteps == 0 {
+			t.Errorf("%s(p=%d) %s: no AIMD windows judged", r.Code, r.P, r.Policy)
+		}
+		if r.RebuildRate < 5 || r.RebuildRate > 50 {
+			t.Errorf("%s(p=%d) %s: final rebuild rate %v escaped [5, 50]", r.Code, r.P, r.Policy, r.RebuildRate)
+		}
+		if r.Ops == 0 {
+			t.Errorf("%s(p=%d) %s: no completed ops", r.Code, r.P, r.Policy)
+		}
+	}
+}
+
+func TestServingValidation(t *testing.T) {
+	p, sc := servingParams()
+	bad := sc
+	bad.Rates = nil
+	if _, err := Serving(p, bad); err == nil {
+		t.Error("empty rate list accepted")
+	}
+	bad = sc
+	bad.Rates = []float64{100, -5}
+	if _, err := Serving(p, bad); err == nil {
+		t.Error("negative rate accepted")
+	}
+	badP := p
+	badP.Policies = nil
+	if _, err := Serving(badP, sc); err == nil {
+		t.Error("missing policies accepted")
+	}
+	badP = p
+	badP.Workers = 0
+	if _, err := Serving(badP, sc); err == nil {
+		t.Error("zero workers accepted")
+	}
+}

@@ -21,6 +21,7 @@ const (
 	CatXOR    = "xor"    // span "xor": chain XOR compute
 	CatFault  = "fault"  // instants "retry", "escalate", "disk-fail", "re-plan", "regenerate", "data-loss"
 	CatApp    = "app"    // instants "hit", "miss" of the foreground workload
+	CatServe  = "serve"  // instants "read", "write", "failed" of the serving workload (stripe class + latency)
 )
 
 // DiskUtil is one disk lane's time-weighted load in a Summary.

@@ -71,6 +71,13 @@ type Config struct {
 	// the disks, so recovery slows the application and vice versa.
 	App *AppWorkload
 
+	// Serving, when non-nil, runs the heavy-traffic serving scenario
+	// instead: an open-loop Zipf read/write stream (serving.go) with
+	// per-stripe-class latency percentiles and an optional adaptive QoS
+	// throttle on rebuild I/O (qos.go). Mutually exclusive with App —
+	// one foreground stream per run.
+	Serving *ServingConfig
+
 	// VerifyData makes the engine carry real chunk contents: each error
 	// group's stripe is materialized and encoded, every selected chain
 	// is XOR-verified to rebuild the lost chunk's bytes, and a mismatch
@@ -190,6 +197,14 @@ func (c *Config) Validate() error {
 			return &ConfigError{Field: "App.ZipfS", Reason: "Zipf-skewed stripe popularity needs at least 2 stripes"}
 		}
 	}
+	if c.Serving != nil {
+		if c.App != nil {
+			return &ConfigError{Field: "Serving", Reason: "mutually exclusive with App (one foreground stream per run)"}
+		}
+		if err := c.Serving.validate(c); err != nil {
+			return err
+		}
+	}
 	if c.VerifyData {
 		if _, ok := c.Code.(core.Rebuilder); !ok {
 			return fmt.Errorf("rebuild: VerifyData requires a code implementing core.Rebuilder")
@@ -234,12 +249,20 @@ type Result struct {
 	AppHits        uint64
 	AppSumResponse sim.Time
 
-	// AppEvictions counts cache evictions triggered by foreground
-	// application requests. Cache.Evictions above counts only evictions
-	// the recovery replay itself caused; the two streams share each
-	// worker's partition, so without the split the app workload would
-	// silently inflate the recovery eviction figure.
+	// AppEvictions counts cache evictions triggered by the foreground
+	// stream (Config.App's reads, or Config.Serving's probes).
+	// Cache.Evictions above counts only evictions the recovery replay
+	// itself caused; the streams share each worker's partition, so
+	// without the split the foreground workload would silently inflate
+	// the recovery eviction figure.
 	AppEvictions uint64
+
+	// Serving holds the foreground serving metrics (nil unless
+	// Config.Serving was set). Note that DiskReads/DiskWrites above are
+	// array totals and therefore include the foreground I/O in serving
+	// mode; Serving.DiskReads/DiskWrites carry the foreground-issued
+	// share.
+	Serving *ServingResult
 
 	// VerifiedChunks counts lost chunks whose recovered contents were
 	// byte-verified (Config.VerifyData).
@@ -381,8 +404,8 @@ func Run(cfg Config, errors []core.PartialStripeError) (*Result, error) {
 		}
 	}
 	if cfg.Mode == ModeDOR {
-		if cfg.App != nil || cfg.VerifyData || len(cfg.ResponseHistogramMs) > 0 || cfg.ErrorInterarrival > 0 || cfg.Faults != nil || cfg.Tracer != nil || cfg.Metrics != nil {
-			return nil, fmt.Errorf("rebuild: DOR mode does not support App, VerifyData, response histograms, staggered error arrival, fault injection or observability")
+		if cfg.App != nil || cfg.Serving != nil || cfg.VerifyData || len(cfg.ResponseHistogramMs) > 0 || cfg.ErrorInterarrival > 0 || cfg.Faults != nil || cfg.Tracer != nil || cfg.Metrics != nil {
+			return nil, fmt.Errorf("rebuild: DOR mode does not support App, Serving, VerifyData, response histograms, staggered error arrival, fault injection or observability")
 		}
 		return runDOR(cfg, errors)
 	}
@@ -458,6 +481,11 @@ func Run(cfg Config, errors []core.PartialStripeError) (*Result, error) {
 	if cfg.App != nil && len(e.workers) > 0 {
 		e.scheduleAppWorkload()
 	}
+	if cfg.Serving != nil {
+		if err := e.startServing(errors); err != nil {
+			return nil, err
+		}
+	}
 	if cfg.Metrics != nil {
 		e.registerMetrics(cfg.Metrics)
 		interval := cfg.MetricsInterval
@@ -492,9 +520,18 @@ func Run(cfg Config, errors []core.PartialStripeError) (*Result, error) {
 		res.Cache.Evictions += w.cache.Stats().Evictions
 	}
 	// The per-worker caches count every eviction regardless of which
-	// stream caused it; attribute the app-induced ones separately.
+	// stream caused it; attribute the foreground-induced ones separately.
 	res.Cache.Evictions -= e.appEvictions
 	res.AppEvictions = e.appEvictions
+	if e.serving != nil {
+		sr := e.serving.res
+		if e.qos != nil {
+			sr.QoSTrace = e.qos.steps
+			sr.FinalRebuildRate = e.qos.rate
+			sr.ThrottleDelay = e.qos.throttleDelay
+		}
+		res.Serving = sr
+	}
 	total := array.TotalStats()
 	res.DiskReads = total.Reads
 	res.DiskWrites = total.Writes
@@ -542,6 +579,10 @@ type engine struct {
 	appSumResponse sim.Time
 	appEvictions   uint64
 	stripeOwner    map[int]int // stripe -> worker id that repaired it
+
+	// Serving-mode state (nil unless Config.Serving was set).
+	serving *servingState
+	qos     *qosController
 
 	verifiedChunks uint64
 	verifyErr      error
@@ -622,9 +663,10 @@ type worker struct {
 	startChainFn func() // prebound startChain (for Schedule sites)
 
 	// Spare-write state (one write in flight per worker at most).
-	spareReq    disk.Request // Done prebound to spareDone
-	spareTarget int
-	spareAddr   int64
+	spareReq     disk.Request // Done prebound to spareDone
+	spareTarget  int
+	spareAddr    int64
+	spareIssueFn func() // prebound issueSpare, created lazily for the QoS-delayed path
 
 	// freeOps recycles fetch operations; each op embeds its disk.Request
 	// and implements disk.Handler, so a steady-state miss fetch allocates
@@ -648,6 +690,16 @@ type worker struct {
 	obsChainLost  cache.ChunkID
 	obsChainFetch int
 	obsChainOpen  bool
+}
+
+// ownerWorker returns the cache partition a stripe's requests probe:
+// the worker that repaired (or will repair) it when known, otherwise a
+// stable hash partition.
+func (e *engine) ownerWorker(stripe int) *worker {
+	if wid, ok := e.stripeOwner[stripe]; ok {
+		return e.workers[wid]
+	}
+	return e.workers[stripe%len(e.workers)]
 }
 
 // scheduleAppWorkload arms the foreground read stream: requests arrive
@@ -678,10 +730,7 @@ func (e *engine) scheduleAppWorkload() {
 		cell := grid.Coord{Row: rng.Intn(layout.Rows()), Col: rng.Intn(layout.Cols())}
 		at := sim.Time(i+1) * inter
 		e.sim.ScheduleAt(at, func() {
-			owner := e.workers[stripe%len(e.workers)]
-			if wid, ok := e.stripeOwner[stripe]; ok {
-				owner = e.workers[wid]
-			}
+			owner := e.ownerWorker(stripe)
 			id := cache.ChunkID{Stripe: stripe, Cell: cell}
 			evBefore := owner.cache.Stats().Evictions
 			hit := owner.cache.Request(id)
@@ -995,6 +1044,10 @@ func (w *worker) barrier() {
 // afterXOR runs when the chain's XOR compute charge has elapsed.
 func (w *worker) afterXOR() {
 	if w.engine.cfg.SkipSpareWrites {
+		// Without spare writes the repair is complete here.
+		if sv := w.engine.serving; sv != nil {
+			sv.repaired(w.scheme.Err.Stripe, w.curSel.Lost)
+		}
 		w.startChain()
 		return
 	}

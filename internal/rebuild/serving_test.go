@@ -1,0 +1,296 @@
+package rebuild
+
+import (
+	"testing"
+
+	"fbf/internal/cache"
+	"fbf/internal/codes"
+	"fbf/internal/core"
+	"fbf/internal/grid"
+	"fbf/internal/sim"
+)
+
+func servingConfig(code *codes.Code) Config {
+	return Config{
+		Code: code, Policy: "lru", Strategy: core.StrategyLooped,
+		Workers: 4, CacheChunks: 64, Stripes: 100,
+		Serving: &ServingConfig{
+			Ops: 2000, Rate: 100, ZipfS: 1.2, WriteFrac: 0.2, HotFrac: 0.3, Seed: 11,
+		},
+	}
+}
+
+func TestServingBasic(t *testing.T) {
+	code := codes.MustNew("tip", 7)
+	cfg := servingConfig(code)
+	res, err := Run(cfg, genErrors(t, code, 10, 100, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := res.Serving
+	if sr == nil {
+		t.Fatal("Result.Serving is nil on a serving run")
+	}
+	// Every configured arrival is either a read or a write.
+	if got := sr.Reads + sr.Writes; got != uint64(cfg.Serving.Ops) {
+		t.Errorf("arrivals = %d (reads %d + writes %d), want %d", got, sr.Reads, sr.Writes, cfg.Serving.Ops)
+	}
+	if sr.Writes == 0 || sr.Reads == 0 {
+		t.Errorf("degenerate mix: reads %d, writes %d", sr.Reads, sr.Writes)
+	}
+	// Accounting invariant: every arrival completes in exactly one class
+	// or fails.
+	var classOps uint64
+	for i := range sr.Classes {
+		classOps += sr.Classes[i].Ops
+	}
+	if classOps+sr.FailedReads+sr.FailedWrites != sr.Reads+sr.Writes {
+		t.Errorf("accounting: classes %d + failed %d/%d != arrivals %d",
+			classOps, sr.FailedReads, sr.FailedWrites, sr.Reads+sr.Writes)
+	}
+	if sr.Ops() != classOps {
+		t.Errorf("Ops() = %d, class sum %d", sr.Ops(), classOps)
+	}
+	// The overall histogram holds one sample per completed op, and the
+	// class histograms partition it.
+	if sr.Hist.Total() != classOps {
+		t.Errorf("overall histogram holds %d samples, want %d", sr.Hist.Total(), classOps)
+	}
+	var histSum uint64
+	for i := range sr.Classes {
+		cs := &sr.Classes[i]
+		if cs.Hist.Total() != cs.Ops {
+			t.Errorf("class %v histogram holds %d, want %d", StripeClass(i), cs.Hist.Total(), cs.Ops)
+		}
+		histSum += cs.Hist.Total()
+	}
+	if histSum != sr.Hist.Total() {
+		t.Errorf("class histograms sum to %d, overall %d", histSum, sr.Hist.Total())
+	}
+	// With hot traffic aimed at stripes under repair, degraded and lost
+	// requests must appear, and latency must order sensibly.
+	if sr.Classes[ClassDegraded].Ops == 0 && sr.Classes[ClassLost].Ops == 0 {
+		t.Error("hot traffic produced no degraded or lost requests")
+	}
+	if sr.Classes[ClassLost].Ops > 0 && sr.Classes[ClassLost].AvgMs() <= sr.Classes[ClassHealthy].AvgMs() {
+		t.Errorf("lost-class mean %.3f ms not above healthy %.3f ms",
+			sr.Classes[ClassLost].AvgMs(), sr.Classes[ClassHealthy].AvgMs())
+	}
+	if sr.P(1) < sr.P(0.5) || sr.P(0.99) < sr.P(0.5) {
+		t.Errorf("quantiles not monotone: p50 %.3f p99 %.3f p100 %.3f", sr.P(0.5), sr.P(0.99), sr.P(1))
+	}
+	if sr.Hits+sr.Misses == 0 || sr.HitRatio() < 0 || sr.HitRatio() > 1 {
+		t.Errorf("probe stats: hits %d misses %d ratio %v", sr.Hits, sr.Misses, sr.HitRatio())
+	}
+	if sr.DiskReads == 0 || sr.DiskWrites == 0 {
+		t.Errorf("foreground issued no disk I/O: reads %d writes %d", sr.DiskReads, sr.DiskWrites)
+	}
+	// The rebuild itself still completes.
+	if res.Groups != 10 {
+		t.Errorf("Groups = %d", res.Groups)
+	}
+	// No QoS configured: no trace, no throttling.
+	if len(sr.QoSTrace) != 0 || sr.ThrottleDelay != 0 || sr.FinalRebuildRate != 0 {
+		t.Errorf("QoS accounting populated without a QoS config: %+v", sr)
+	}
+}
+
+func TestServingDeterministic(t *testing.T) {
+	code := codes.MustNew("tip", 7)
+	run := func() *Result {
+		cfg := servingConfig(code)
+		cfg.Serving.QoS = &QoSConfig{SLOp99Ms: 50}
+		res, err := Run(cfg, genErrors(t, code, 10, 100, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Makespan != b.Makespan {
+		t.Errorf("makespan diverged: %v vs %v", a.Makespan, b.Makespan)
+	}
+	sa, sb := a.Serving, b.Serving
+	if sa.Reads != sb.Reads || sa.Writes != sb.Writes || sa.Hits != sb.Hits ||
+		sa.Misses != sb.Misses || sa.SumMs != sb.SumMs ||
+		sa.DiskReads != sb.DiskReads || sa.DiskWrites != sb.DiskWrites ||
+		sa.XORChunks != sb.XORChunks || sa.Evictions != sb.Evictions ||
+		sa.FailedReads != sb.FailedReads || sa.FailedWrites != sb.FailedWrites ||
+		sa.ThrottleDelay != sb.ThrottleDelay || sa.FinalRebuildRate != sb.FinalRebuildRate {
+		t.Errorf("serving results diverged:\n%+v\n%+v", sa, sb)
+	}
+	for i := range sa.Classes {
+		if sa.Classes[i].Ops != sb.Classes[i].Ops || sa.Classes[i].SumMs != sb.Classes[i].SumMs {
+			t.Errorf("class %v diverged", StripeClass(i))
+		}
+	}
+	if len(sa.QoSTrace) != len(sb.QoSTrace) {
+		t.Fatalf("trace lengths diverged: %d vs %d", len(sa.QoSTrace), len(sb.QoSTrace))
+	}
+	for i := range sa.QoSTrace {
+		if sa.QoSTrace[i] != sb.QoSTrace[i] {
+			t.Errorf("step %d diverged: %+v vs %+v", i, sa.QoSTrace[i], sb.QoSTrace[i])
+		}
+	}
+}
+
+func TestStripeClassTracking(t *testing.T) {
+	sv := &servingState{
+		lost:      make(map[cache.ChunkID]bool),
+		remaining: make(map[int]int),
+	}
+	a := cache.ChunkID{Stripe: 3, Cell: grid.Coord{Row: 0, Col: 1}}
+	b := cache.ChunkID{Stripe: 3, Cell: grid.Coord{Row: 2, Col: 4}}
+	other := cache.ChunkID{Stripe: 5, Cell: grid.Coord{Row: 1, Col: 1}}
+
+	if got := sv.classify(a); got != ClassHealthy {
+		t.Fatalf("empty state: classify = %v", got)
+	}
+	sv.addLost(a)
+	sv.addLost(a) // idempotent
+	sv.addLost(b)
+	if sv.remaining[3] != 2 {
+		t.Fatalf("remaining[3] = %d after 2 losses (one repeated)", sv.remaining[3])
+	}
+	if got := sv.classify(a); got != ClassLost {
+		t.Errorf("lost cell: classify = %v", got)
+	}
+	if got := sv.classify(cache.ChunkID{Stripe: 3, Cell: grid.Coord{Row: 9, Col: 9}}); got != ClassDegraded {
+		t.Errorf("intact cell of losing stripe: classify = %v", got)
+	}
+	if got := sv.classify(other); got != ClassHealthy {
+		t.Errorf("other stripe: classify = %v", got)
+	}
+
+	sv.repaired(3, a.Cell)
+	if got := sv.classify(a); got != ClassDegraded {
+		t.Errorf("after repair: classify = %v (stripe still has a loss)", got)
+	}
+	sv.repaired(3, a.Cell) // idempotent: not lost anymore
+	if sv.remaining[3] != 1 {
+		t.Fatalf("remaining[3] = %d after repeated repair", sv.remaining[3])
+	}
+	sv.repaired(3, b.Cell)
+	if got := sv.classify(a); got != ClassHealthy {
+		t.Errorf("stripe fully repaired: classify = %v", got)
+	}
+	if len(sv.lost) != 0 || len(sv.remaining) != 0 {
+		t.Errorf("tracking maps not drained: lost %v remaining %v", sv.lost, sv.remaining)
+	}
+	if (StripeClass(9)).String() == "" || ClassLost.String() != "lost" ||
+		ClassHealthy.String() != "healthy" || ClassDegraded.String() != "degraded" {
+		t.Error("StripeClass.String misnames a class")
+	}
+}
+
+// TestServingEvictionSplit pins the foreground/rebuild eviction split in
+// serving mode: with no error groups at all, every eviction is caused by
+// a foreground probe, so the rebuild-attributed Cache.Evictions must be
+// exactly zero while the app-attributed count carries the total.
+func TestServingEvictionSplit(t *testing.T) {
+	code := codes.MustNew("tip", 7)
+	cfg := Config{
+		Code: code, Policy: "lru", Strategy: core.StrategyLooped,
+		Workers: 2, CacheChunks: 8, Stripes: 200, // tiny cache forces evictions
+		Serving: &ServingConfig{Ops: 3000, Rate: 2000, ZipfS: 1.1, WriteFrac: 0.1, Seed: 4},
+	}
+	res, err := Run(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AppEvictions == 0 {
+		t.Fatal("foreground stream caused no evictions despite an 8-chunk cache")
+	}
+	if res.Cache.Evictions != 0 {
+		t.Errorf("rebuild-attributed evictions = %d with zero error groups", res.Cache.Evictions)
+	}
+	if res.Serving.Evictions != res.AppEvictions {
+		t.Errorf("Serving.Evictions = %d, AppEvictions = %d", res.Serving.Evictions, res.AppEvictions)
+	}
+	// With no repairs pending, every request is healthy-class and none
+	// fail.
+	sr := res.Serving
+	if sr.Classes[ClassDegraded].Ops != 0 || sr.Classes[ClassLost].Ops != 0 {
+		t.Errorf("class split %d/%d/%d with no errors",
+			sr.Classes[0].Ops, sr.Classes[1].Ops, sr.Classes[2].Ops)
+	}
+	if sr.FailedReads != 0 || sr.FailedWrites != 0 {
+		t.Errorf("failures %d/%d with no errors", sr.FailedReads, sr.FailedWrites)
+	}
+}
+
+// TestServingQoSKeepsSLO pins the calibrated sub-saturation scenario: at
+// 200 ops/s against a 13-disk array, the unthrottled rebuild drives
+// foreground p99 to roughly twice the 100 ms SLO, and the AIMD throttle
+// pulls it back inside.
+func TestServingQoSKeepsSLO(t *testing.T) {
+	const slo = 100.0
+	run := func(qos *QoSConfig) *ServingResult {
+		code := codes.MustNew("tip", 13)
+		res, err := Run(servingQoSConfig(code, qos), genErrors(t, code, 24, 512, 5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Serving
+	}
+	unthrottled := run(nil)
+	throttled := run(&QoSConfig{SLOp99Ms: slo, InitialRate: 10, MaxRate: 50})
+	if p := unthrottled.P(0.99); p <= slo {
+		t.Errorf("unthrottled p99 %.1f ms does not breach the %v ms SLO — scenario lost its contention", p, slo)
+	}
+	if p := throttled.P(0.99); p > slo {
+		t.Errorf("QoS-throttled p99 %.1f ms exceeds the %v ms SLO", p, slo)
+	}
+	if throttled.ThrottleDelay <= 0 {
+		t.Error("QoS injected no rebuild delay")
+	}
+	if len(throttled.QoSTrace) == 0 {
+		t.Error("QoS recorded no decision windows")
+	}
+}
+
+func TestServingRejections(t *testing.T) {
+	code := codes.MustNew("tip", 7)
+	base := func() Config {
+		return Config{
+			Code: code, Policy: "lru", Strategy: core.StrategyLooped,
+			Workers: 2, CacheChunks: 16, Stripes: 16,
+			Serving: &ServingConfig{Ops: 10, Rate: 100, Seed: 1},
+		}
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"app and serving together", func(c *Config) {
+			c.App = &AppWorkload{Requests: 10, Interarrival: sim.Millisecond}
+		}},
+		{"negative ops", func(c *Config) { c.Serving.Ops = -1 }},
+		{"zero rate", func(c *Config) { c.Serving.Rate = 0 }},
+		{"negative rate", func(c *Config) { c.Serving.Rate = -3 }},
+		{"write fraction above 1", func(c *Config) { c.Serving.WriteFrac = 1.5 }},
+		{"negative hot fraction", func(c *Config) { c.Serving.HotFrac = -0.1 }},
+		{"zipf with one stripe", func(c *Config) { c.Stripes = 1; c.Serving.ZipfS = 1.5 }},
+		{"bad latency bounds", func(c *Config) { c.Serving.LatencyBoundsMs = []float64{5, 5} }},
+		{"bad qos", func(c *Config) { c.Serving.QoS = &QoSConfig{} }},
+	}
+	for _, tc := range cases {
+		cfg := base()
+		tc.mutate(&cfg)
+		_, err := Run(cfg, genErrors(t, code, 2, 16, 1))
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if _, ok := err.(*ConfigError); !ok {
+			t.Errorf("%s: error %T (%v) is not *ConfigError", tc.name, err, err)
+		}
+	}
+	// DOR mode rejects serving like the other SOR-only features (plain
+	// error, not a ConfigError, matching App et al).
+	cfg := base()
+	cfg.Mode = ModeDOR
+	if _, err := Run(cfg, genErrors(t, code, 2, 16, 1)); err == nil {
+		t.Error("DOR mode accepted a serving config")
+	}
+}

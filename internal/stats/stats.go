@@ -74,6 +74,28 @@ type Histogram struct {
 	total  uint64
 }
 
+// LogBounds returns geometrically spaced bucket bounds for latency
+// histograms: lo, lo*factor, lo*factor^2, ... until the first bound at
+// or above hi. Quantiles read from such a histogram are upper bounds
+// with a worst-case relative error of factor-1, which is what the
+// serving experiments use for p50/p99/p999 percentiles spanning cache
+// hits (sub-millisecond) to deep saturation (seconds).
+func LogBounds(lo, hi, factor float64) ([]float64, error) {
+	if !(lo > 0) || !(hi > lo) {
+		return nil, fmt.Errorf("stats: log bounds need 0 < lo < hi, got [%g, %g]", lo, hi)
+	}
+	if !(factor > 1) {
+		return nil, fmt.Errorf("stats: log bounds growth factor %g not above 1", factor)
+	}
+	var bounds []float64
+	for b := lo; ; b *= factor {
+		bounds = append(bounds, b)
+		if b >= hi {
+			return bounds, nil
+		}
+	}
+}
+
 // NewHistogram builds a histogram over strictly increasing bounds.
 func NewHistogram(bounds []float64) (*Histogram, error) {
 	if len(bounds) == 0 {
@@ -131,6 +153,16 @@ func (h *Histogram) Merge(other *Histogram) error {
 	}
 	h.total += other.total
 	return nil
+}
+
+// Reset clears every count, keeping the bounds. The QoS controller's
+// per-window latency histogram is recycled this way between decision
+// intervals.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.total = 0
 }
 
 // Counts returns a copy of the bucket counts (len(bounds)+1 entries; the

@@ -3,6 +3,7 @@ package stats
 import (
 	"math"
 	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -178,6 +179,134 @@ func TestHistogramStringEmpty(t *testing.T) {
 	h.Add(0.5)
 	if got := h.String(); got == "empty" || got == "" {
 		t.Fatalf("non-empty String() = %q", got)
+	}
+}
+
+// bucketUpperBound returns the upper bound of the bucket x falls in
+// (the overflow bucket reports +Inf) — the value Quantile is specified
+// to report for any quantile whose exact order statistic is x.
+func bucketUpperBound(bounds []float64, x float64) float64 {
+	for _, b := range bounds {
+		if x <= b {
+			return b
+		}
+	}
+	return math.Inf(1)
+}
+
+// TestQuantileMatchesSortedSlice cross-checks Histogram.Quantile
+// against exact order statistics on random inputs: for every q, the
+// reported bound must be the upper bound of the bucket holding the
+// exact sorted-slice quantile ceil(q*n). This is the contract the
+// serving experiments' p50/p99/p999 reporting rests on.
+func TestQuantileMatchesSortedSlice(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		bounds, err := LogBounds(0.25, 1e4, 1+0.05+rng.Float64())
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := NewHistogram(bounds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 1 + rng.Intn(400)
+		xs := make([]float64, n)
+		for i := range xs {
+			// Log-uniform over the bound range, with excursions past both
+			// ends to exercise the first and overflow buckets.
+			xs[i] = 0.1 * math.Pow(10, rng.Float64()*6)
+			h.Add(xs[i])
+		}
+		sort.Float64s(xs)
+		for _, q := range []float64{0, 0.01, 0.1, 0.25, 0.5, 0.9, 0.99, 0.999, 1} {
+			rank := int(math.Ceil(q * float64(n)))
+			if rank < 1 {
+				rank = 1
+			}
+			exact := xs[rank-1]
+			want := bucketUpperBound(bounds, exact)
+			got := h.Quantile(q)
+			if got != want && !(math.IsInf(got, 1) && math.IsInf(want, 1)) {
+				t.Errorf("seed %d n %d q %v: Quantile = %v, exact %v lies in bucket bounded by %v", seed, n, q, got, exact, want)
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 60})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMergeMatchesPooledQuantiles pins that merging shards and then
+// reading quantiles equals accumulating every observation into one
+// histogram — the property that lets sweep workers histogram privately
+// and merge at the end.
+func TestMergeMatchesPooledQuantiles(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		bounds, _ := LogBounds(0.5, 1e3, 1.3)
+		pooled, _ := NewHistogram(bounds)
+		merged, _ := NewHistogram(bounds)
+		shards := 1 + rng.Intn(5)
+		for s := 0; s < shards; s++ {
+			shard, _ := NewHistogram(bounds)
+			for i, n := 0, rng.Intn(200); i < n; i++ {
+				x := math.Pow(10, rng.Float64()*4-0.5)
+				pooled.Add(x)
+				shard.Add(x)
+			}
+			if err := merged.Merge(shard); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if merged.Total() != pooled.Total() {
+			return false
+		}
+		pc, mc := pooled.Counts(), merged.Counts()
+		for i := range pc {
+			if pc[i] != mc[i] {
+				return false
+			}
+		}
+		for _, q := range []float64{0, 0.5, 0.9, 0.99, 0.999, 1} {
+			pq, mq := pooled.Quantile(q), merged.Quantile(q)
+			if pq != mq && !(math.IsInf(pq, 1) && math.IsInf(mq, 1)) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 40})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogBounds(t *testing.T) {
+	b, err := LogBounds(0.25, 1000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != 0.25 {
+		t.Fatalf("first bound %v", b[0])
+	}
+	if last := b[len(b)-1]; last < 1000 {
+		t.Fatalf("last bound %v below hi", last)
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("bounds not increasing at %d: %v", i, b)
+		}
+	}
+	// LogBounds output must be accepted by NewHistogram verbatim.
+	if _, err := NewHistogram(b); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range [][3]float64{{0, 10, 2}, {1, 1, 2}, {5, 1, 2}, {1, 10, 1}, {1, 10, 0.5}} {
+		if _, err := LogBounds(bad[0], bad[1], bad[2]); err == nil {
+			t.Errorf("LogBounds(%v) accepted", bad)
+		}
 	}
 }
 

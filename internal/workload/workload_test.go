@@ -1,0 +1,221 @@
+package workload
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"testing"
+
+	"fbf/internal/grid"
+	"fbf/internal/sim"
+)
+
+func testCells() []grid.Coord {
+	var cells []grid.Coord
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 5; c++ {
+			cells = append(cells, grid.Coord{Row: r, Col: c})
+		}
+	}
+	return cells
+}
+
+func drain(t *testing.T, cfg Config) []Op {
+	t.Helper()
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := make([]Op, 0, cfg.Ops)
+	for {
+		op, ok := g.Next()
+		if !ok {
+			break
+		}
+		ops = append(ops, op)
+	}
+	if len(ops) != cfg.Ops {
+		t.Fatalf("generated %d ops, want %d", len(ops), cfg.Ops)
+	}
+	return ops
+}
+
+// fingerprint hashes the full op stream, timestamps included.
+func fingerprint(ops []Op) uint64 {
+	h := fnv.New64a()
+	for _, op := range ops {
+		fmt.Fprintf(h, "%d|%d|%d|%d|%d|%d\n", op.Seq, op.At, op.Kind, op.Stripe, op.Cell.Row, op.Cell.Col)
+	}
+	return h.Sum64()
+}
+
+// keyFingerprint hashes everything except arrival times.
+func keyFingerprint(ops []Op) uint64 {
+	h := fnv.New64a()
+	for _, op := range ops {
+		fmt.Fprintf(h, "%d|%d|%d|%d|%d\n", op.Seq, op.Kind, op.Stripe, op.Cell.Row, op.Cell.Col)
+	}
+	return h.Sum64()
+}
+
+// TestGeneratorDeterministic pins the package's core contract: the same
+// Config reproduces the identical stream (timestamps included) on
+// repeated instantiations — the property the sweep harness relies on to
+// make -parallel invisible in serving results.
+func TestGeneratorDeterministic(t *testing.T) {
+	cfg := Config{
+		Ops: 5000, Rate: 2000, Stripes: 1 << 12, Cells: testCells(),
+		ZipfS: 1.2, WriteFrac: 0.1, HotStripes: []int{3, 99, 512}, HotFrac: 0.3,
+		Seed: 42,
+	}
+	want := fingerprint(drain(t, cfg))
+	for i := 0; i < 3; i++ {
+		if got := fingerprint(drain(t, cfg)); got != want {
+			t.Fatalf("instantiation %d drifted: fingerprint %x, want %x", i, got, want)
+		}
+	}
+}
+
+// TestKeyStreamRateInvariant pins that changing only the client rate
+// rescales timestamps without perturbing the key/kind stream: every
+// rate on a latency/throughput frontier serves exactly the same
+// requests.
+func TestKeyStreamRateInvariant(t *testing.T) {
+	base := Config{
+		Ops: 4000, Rate: 500, Stripes: 1 << 10, Cells: testCells(),
+		ZipfS: 1.3, WriteFrac: 0.2, HotStripes: []int{1, 2, 3}, HotFrac: 0.25,
+		Seed: 7,
+	}
+	slow := drain(t, base)
+	fast := base
+	fast.Rate = 16000
+	fastOps := drain(t, fast)
+	if keyFingerprint(slow) != keyFingerprint(fastOps) {
+		t.Fatal("key stream changed with the client rate")
+	}
+	for i := range slow {
+		if fastOps[i].At >= slow[i].At {
+			t.Fatalf("op %d: arrival %v at 16000 ops/s not before %v at 500 ops/s", i, fastOps[i].At, slow[i].At)
+		}
+	}
+}
+
+// TestArrivalsOpenLoop pins the arrival process: strictly increasing,
+// independent of service completions (there are none here), and at the
+// configured rate.
+func TestArrivalsOpenLoop(t *testing.T) {
+	cfg := Config{Ops: 1000, Rate: 4000, Stripes: 64, Cells: testCells(), Seed: 1}
+	ops := drain(t, cfg)
+	for i := 1; i < len(ops); i++ {
+		if ops[i].At <= ops[i-1].At {
+			t.Fatalf("arrivals not strictly increasing at %d: %v then %v", i, ops[i-1].At, ops[i].At)
+		}
+	}
+	last := ops[len(ops)-1].At
+	want := sim.Time(math.Round(float64(cfg.Ops) * float64(sim.Second) / cfg.Rate))
+	if last != want {
+		t.Fatalf("last arrival %v, want %v", last, want)
+	}
+}
+
+// TestWriteFraction sanity-checks the read/write mix converges to the
+// configured fraction.
+func TestWriteFraction(t *testing.T) {
+	cfg := Config{Ops: 100000, Rate: 1000, Stripes: 64, Cells: testCells(), WriteFrac: 0.3, Seed: 5}
+	writes := 0
+	for _, op := range drain(t, cfg) {
+		if op.Kind == Write {
+			writes++
+		}
+	}
+	frac := float64(writes) / float64(cfg.Ops)
+	if math.Abs(frac-0.3) > 0.01 {
+		t.Fatalf("write fraction %.4f, want 0.3 +- 0.01", frac)
+	}
+}
+
+// TestZipfFrequenciesMatchAnalytic chi-squares >= 100k Zipf draws
+// against the analytic P(k) ~ 1/(1+k)^s distribution. Categories with
+// small expected counts are pooled into a tail bucket, and the bound is
+// mean + 10 sigma of the chi-square distribution — astronomically
+// unlikely to trip for a correct sampler, deterministic for this seed
+// either way.
+func TestZipfFrequenciesMatchAnalytic(t *testing.T) {
+	const draws = 200000
+	const s = 1.4
+	const stripes = 1 << 10
+	cfg := Config{Ops: draws, Rate: 1000, Stripes: stripes, Cells: testCells(), ZipfS: s, Seed: 99}
+	counts := make([]int, stripes)
+	for _, op := range drain(t, cfg) {
+		counts[op.Stripe]++
+	}
+	pmf := ZipfPMF(s, stripes)
+
+	// Pool categories until each has an expected count of at least 10.
+	var chi2 float64
+	df := -1 // categories - 1
+	var obsPool, expPool float64
+	for k := 0; k < stripes; k++ {
+		obsPool += float64(counts[k])
+		expPool += pmf[k] * draws
+		if expPool >= 10 {
+			d := obsPool - expPool
+			chi2 += d * d / expPool
+			df++
+			obsPool, expPool = 0, 0
+		}
+	}
+	if expPool > 0 {
+		d := obsPool - expPool
+		chi2 += d * d / expPool
+		df++
+	}
+	if df < 10 {
+		t.Fatalf("degenerate pooling: only %d degrees of freedom", df)
+	}
+	bound := float64(df) + 10*math.Sqrt(2*float64(df))
+	if chi2 > bound {
+		t.Fatalf("chi-square %.1f over %d df exceeds bound %.1f: Zipf frequencies drifted from analytic distribution", chi2, df, bound)
+	}
+}
+
+// TestZipfPMFNormalized pins the analytic reference itself.
+func TestZipfPMFNormalized(t *testing.T) {
+	pmf := ZipfPMF(1.4, 1000)
+	var sum float64
+	for k, p := range pmf {
+		if p <= 0 {
+			t.Fatalf("pmf[%d] = %v not positive", k, p)
+		}
+		if k > 0 && p >= pmf[k-1] {
+			t.Fatalf("pmf not strictly decreasing at %d", k)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("pmf sums to %v, want 1", sum)
+	}
+}
+
+// TestConfigValidate walks the rejection table.
+func TestConfigValidate(t *testing.T) {
+	good := Config{Ops: 10, Rate: 100, Stripes: 4, Cells: testCells()}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []Config{
+		{Ops: -1, Rate: 100, Stripes: 4, Cells: testCells()},
+		{Ops: 10, Rate: 0, Stripes: 4, Cells: testCells()},
+		{Ops: 10, Rate: 100, Stripes: 0, Cells: testCells()},
+		{Ops: 10, Rate: 100, Stripes: 4},
+		{Ops: 10, Rate: 100, Stripes: 4, Cells: testCells(), WriteFrac: 1.5},
+		{Ops: 10, Rate: 100, Stripes: 4, Cells: testCells(), HotFrac: -0.1},
+		{Ops: 10, Rate: 100, Stripes: 4, Cells: testCells(), HotFrac: 0.5},
+		{Ops: 10, Rate: 100, Stripes: 1, Cells: testCells(), ZipfS: 1.2},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
