@@ -11,9 +11,9 @@
 //	               [-o check-only] [-o dry-run] [-o scrub] [-o no-verify]
 //	               [-o priority=sequential|vulnerable] [-o resume]
 //	               [-o rate-limit=BYTES/S]
-//	fbfctl daemon  -store DIR [-interval DUR] [-policy NAME] [-strategy NAME] [-cache N]
-//	               [-o scrub] [-o no-verify] [-o priority=...] [-o rate-limit=BYTES/S]
-//	               [-o retries=N] [-o max-scans=N]
+//	fbfctl daemon  -store DIR [-interval DUR] [-listen ADDR] [-policy NAME] [-strategy NAME]
+//	               [-cache N] [-o scrub] [-o no-verify] [-o priority=...]
+//	               [-o rate-limit=BYTES/S] [-o retries=N] [-o max-scans=N]
 //
 // Operator options follow the rclone `-o key[=value]` convention.
 // `rebuild -o resume` journals progress to <store>/rebuild.journal and
@@ -21,6 +21,12 @@
 // store, journaling every repair. Both shut down gracefully on
 // SIGINT/SIGTERM: the chunk in flight is finished, the journal synced,
 // and a summary printed.
+//
+// `daemon -listen :9920` serves live operational telemetry over HTTP:
+// /metrics (Prometheus text exposition of store I/O, rebuild and daemon
+// counters), /healthz (200 while running, 503 once shutdown begins) and
+// /progress (JSON of the watch phase and the pass in flight). Without
+// -listen no listener is opened and no telemetry is collected.
 //
 // Exit status: 0 success (and store clean), 1 error, 2 damage present
 // (status, rebuild -o check-only) or data loss (rebuild, daemon),
@@ -35,6 +41,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"syscall"
+	"time"
 
 	"fbf/internal/cache"
 	"fbf/internal/cli"
@@ -42,6 +49,7 @@ import (
 	"fbf/internal/core"
 	"fbf/internal/rebuild"
 	"fbf/internal/store"
+	"fbf/internal/telemetry"
 )
 
 const (
@@ -57,6 +65,11 @@ const journalName = "rebuild.journal"
 // testStop, when non-nil, feeds notifyStop alongside real signals — the
 // seam that lets tests exercise interrupted runs deterministically.
 var testStop <-chan struct{}
+
+// testListenReady, when non-nil, receives the telemetry server's bound
+// address once it is serving — the seam daemon-endpoint tests use to
+// scrape a `-listen 127.0.0.1:0` daemon mid-run.
+var testListenReady func(addr string)
 
 // notifyStop returns a channel closed on SIGINT/SIGTERM (the graceful
 // shutdown request) and a cleanup func restoring default handling.
@@ -87,9 +100,9 @@ func usage(stderr io.Writer) int {
   fbfctl rebuild -store DIR [-policy NAME] [-strategy NAME] [-cache N] [-progress]
                  [-o check-only] [-o dry-run] [-o scrub] [-o no-verify]
                  [-o priority=sequential|vulnerable] [-o resume] [-o rate-limit=BYTES/S]
-  fbfctl daemon  -store DIR [-interval DUR] [-policy NAME] [-strategy NAME] [-cache N]
-                 [-o scrub] [-o no-verify] [-o priority=...] [-o rate-limit=BYTES/S]
-                 [-o retries=N] [-o max-scans=N]
+  fbfctl daemon  -store DIR [-interval DUR] [-listen ADDR] [-policy NAME] [-strategy NAME]
+                 [-cache N] [-o scrub] [-o no-verify] [-o priority=...]
+                 [-o rate-limit=BYTES/S] [-o retries=N] [-o max-scans=N]
 
 codes: %v  policies: %v
 exit status: 0 ok, 1 error, 2 damage/data loss, 3 interrupted (journal kept)
@@ -250,15 +263,21 @@ func runStatus(args []string, stdout, stderr io.Writer) int {
 
 // throttled wraps the backend in a token-bucket rate limit when the
 // rate-limit option is given (bytes of chunk payload I/O per second).
-func throttled(b store.Backend, opts *cli.Options) (store.Backend, error) {
+// The throttle handle is returned alongside so telemetry can expose the
+// bucket state; it is nil when no limit was asked for.
+func throttled(b store.Backend, opts *cli.Options) (store.Backend, *store.Throttle, error) {
 	rate, err := opts.Int64("rate-limit", 0)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if !opts.Has("rate-limit") {
-		return b, nil
+		return b, nil, nil
 	}
-	return store.NewThrottle(b, rate)
+	t, err := store.NewThrottle(b, rate)
+	if err != nil {
+		return nil, nil, err
+	}
+	return t, t, nil
 }
 
 func runRebuild(args []string, stdout, stderr io.Writer) int {
@@ -285,7 +304,7 @@ func runRebuild(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return fail(stderr, err)
 	}
-	backend, err := throttled(store.Backend(b), &opts)
+	backend, _, err := throttled(store.Backend(b), &opts)
 	if err != nil {
 		return fail(stderr, err)
 	}
@@ -396,6 +415,7 @@ func runDaemon(args []string, stdout, stderr io.Writer) int {
 	strategy := fs.String("strategy", "looped", "chain-selection strategy")
 	cacheChunks := fs.Int("cache", 64, "cache capacity in chunks (negative disables)")
 	interval := fs.Duration("interval", rebuild.DefaultInterval, "pause between clean scans")
+	listen := fs.String("listen", "", "serve /metrics, /healthz and /progress on this address (e.g. :9920); empty disables telemetry")
 	var opts cli.Options
 	fs.Var(&opts, "o", "operator option: scrub, no-verify, priority=..., rate-limit=BYTES/S, retries=N, max-scans=N")
 	if err := fs.Parse(args); err != nil {
@@ -412,15 +432,43 @@ func runDaemon(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return fail(stderr, err)
 	}
-	backend, err := throttled(b, &opts)
+	backend, throttle, err := throttled(b, &opts)
 	if err != nil {
 		return fail(stderr, err)
+	}
+	// Telemetry is armed only with -listen: the instrumented wrapper, the
+	// registry and the HTTP server all exist solely on that path, so a
+	// plain daemon run takes no listener and no extra work per I/O.
+	var dm *telemetry.DaemonMetrics
+	var rm *telemetry.RebuildMetrics
+	var srv *telemetry.Server
+	if *listen != "" {
+		reg := telemetry.NewRegistry()
+		inst := store.Instrument(backend)
+		backend = inst
+		telemetry.RegisterBackend(reg, inst)
+		if throttle != nil {
+			telemetry.RegisterThrottle(reg, throttle)
+		}
+		rm = telemetry.NewRebuildMetrics(reg)
+		dm = telemetry.NewDaemonMetrics(reg)
+		srv = telemetry.NewServer(reg, func() any { return dm.Tracker.Snapshot() })
+		addr, err := srv.Start(*listen)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		defer srv.Close(time.Second)
+		fmt.Fprintf(stderr, "fbfctl daemon: serving telemetry on %s\n", addr)
+		if testListenReady != nil {
+			testListenReady(addr)
+		}
 	}
 	svc := rebuild.ServiceConfig{
 		Backend: backend, Manifest: m,
 		Policy: *policy, Strategy: strat, CacheChunks: *cacheChunks,
 		Priority:    opts.Value("priority", rebuild.PrioritySequential),
 		JournalPath: filepath.Join(*storeDir, journalName),
+		Metrics:     rm,
 	}
 	for _, bind := range []struct {
 		key string
@@ -448,11 +496,30 @@ func runDaemon(args []string, stdout, stderr io.Writer) int {
 
 	stop, cancel := notifyStop()
 	defer cancel()
+	if srv != nil {
+		// Interpose on the stop channel so /healthz flips to 503 strictly
+		// before the daemon sees the shutdown request — supervisors
+		// watching readiness observe the graceful drain in progress.
+		sig := stop
+		drain := make(chan struct{})
+		done := make(chan struct{})
+		defer close(done)
+		go func() {
+			select {
+			case <-sig:
+				srv.SetHealthy(false)
+				close(drain)
+			case <-done:
+			}
+		}()
+		stop = drain
+	}
 	res, err := rebuild.RunDaemon(rebuild.DaemonConfig{
 		Service: svc, Interval: *interval,
 		Retries: int(retries), MaxScans: int(maxScans),
-		Stop: stop,
-		Logf: func(f string, a ...any) { fmt.Fprintf(stderr, "fbfctl daemon: "+f+"\n", a...) },
+		Stop:    stop,
+		Logf:    func(f string, a ...any) { fmt.Fprintf(stderr, "fbfctl daemon: "+f+"\n", a...) },
+		Metrics: dm,
 	})
 	if res != nil {
 		fmt.Fprintf(stdout, "       scans : %d (%d rebuilds, %d retries)\n", res.Scans, res.Rebuilds, res.Retries)

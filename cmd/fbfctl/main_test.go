@@ -3,14 +3,18 @@ package main
 import (
 	"bytes"
 	"crypto/sha256"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"io/fs"
+	"net/http"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"testing"
+	"time"
 
 	"fbf/internal/chunk"
 	"fbf/internal/codes"
@@ -422,5 +426,148 @@ func TestDaemonGracefulSignalExit(t *testing.T) {
 	}
 	if !strings.Contains(out, "shutdown : graceful") {
 		t.Fatalf("daemon shutdown summary:\n%s", out)
+	}
+}
+
+// httpGet fetches a telemetry endpoint and checks the status code.
+func httpGet(t *testing.T, url string, wantStatus int) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s = %d, want %d\n%s", url, resp.StatusCode, wantStatus, body)
+	}
+	return string(body)
+}
+
+// TestDaemonListenServesEndpoints boots `daemon -listen 127.0.0.1:0`
+// against a damaged store, scrapes /metrics, /progress and /healthz
+// mid-run through the testListenReady seam, then stops the daemon and
+// checks the graceful exit tears the listener down.
+func TestDaemonListenServesEndpoints(t *testing.T) {
+	const stripes = 2
+	dir := initStore(t, "star", stripes)
+	if err := os.RemoveAll(filepath.Join(dir, store.DiskDirName(4))); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	testStop = stop
+	addrCh := make(chan string, 1)
+	testListenReady = func(a string) { addrCh <- a }
+	defer func() { testStop = nil; testListenReady = nil }()
+
+	type result struct {
+		out, errOut string
+		code        int
+	}
+	resCh := make(chan result, 1)
+	go func() {
+		var out, errb bytes.Buffer
+		code := run([]string{"daemon", "-store", dir, "-interval", "1h", "-listen", "127.0.0.1:0"}, &out, &errb)
+		resCh <- result{out.String(), errb.String(), code}
+	}()
+	var base string
+	select {
+	case a := <-addrCh:
+		base = "http://" + a
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never announced its telemetry address")
+	}
+
+	// Wait for the first pass to repair the killed disk and the daemon
+	// to settle into watching; the counters are then stable to assert on.
+	var snap struct {
+		Phase    string `json:"phase"`
+		Scans    int    `json:"scans"`
+		Rebuilds int    `json:"rebuilds"`
+		Percent  int    `json:"percent"`
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		body := httpGet(t, base+"/progress", http.StatusOK)
+		if err := json.Unmarshal([]byte(body), &snap); err != nil {
+			t.Fatalf("decode /progress: %v\n%s", err, body)
+		}
+		if snap.Phase == "watching" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never reached the watching phase: %+v", snap)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if snap.Scans != 1 || snap.Rebuilds != 1 || snap.Percent != 100 {
+		t.Fatalf("/progress after the first pass = %+v, want 1 scan, 1 rebuild, 100%%", snap)
+	}
+
+	metrics := httpGet(t, base+"/metrics", http.StatusOK)
+	for _, want := range []string{
+		fmt.Sprintf("fbf_rebuild_stripes_done %d\n", stripes),
+		"fbf_daemon_scans 1\n",
+		"fbf_daemon_rebuilds 1\n",
+		`fbf_store_ops{op="read"}`,
+		`fbf_store_op_seconds_bucket{op="write",le="+Inf"}`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, metrics)
+		}
+	}
+	if body := httpGet(t, base+"/healthz", http.StatusOK); !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz body = %q", body)
+	}
+
+	close(stop)
+	var r result
+	select {
+	case r = <-resCh:
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not exit after the stop request")
+	}
+	if r.code != exitInterrupted {
+		t.Fatalf("stopped daemon exited %d, want %d\nstdout:\n%s\nstderr:\n%s", r.code, exitInterrupted, r.out, r.errOut)
+	}
+	if !strings.Contains(r.out, "shutdown : graceful") {
+		t.Fatalf("daemon shutdown summary:\n%s", r.out)
+	}
+	if !strings.Contains(r.errOut, "serving telemetry on") {
+		t.Fatalf("daemon never logged its telemetry address:\n%s", r.errOut)
+	}
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Fatal("telemetry server still answering after daemon exit")
+	}
+	checkGroundTruth(t, dir, "star", stripes)
+}
+
+// TestDaemonListenSummaryUnchanged pins the zero-overhead contract at
+// the CLI surface: over identical stores, the stdout summary of a
+// -listen daemon is byte-identical to the plain daemon's — telemetry
+// adds a stderr line and an HTTP server, never different output.
+func TestDaemonListenSummaryUnchanged(t *testing.T) {
+	runOnce := func(extra ...string) string {
+		const stripes = 2
+		dir := initStore(t, "star", stripes)
+		if err := os.RemoveAll(filepath.Join(dir, store.DiskDirName(3))); err != nil {
+			t.Fatal(err)
+		}
+		args := append([]string{"daemon", "-store", dir, "-interval", "1ms", "-o", "max-scans=2"}, extra...)
+		out, errOut, code := runCtl(t, args...)
+		if code != exitOK {
+			t.Fatalf("daemon %v = %d: %s", extra, code, errOut)
+		}
+		checkGroundTruth(t, dir, "star", stripes)
+		return out
+	}
+	plain := runOnce()
+	listened := runOnce("-listen", "127.0.0.1:0")
+	if plain != listened {
+		t.Fatalf("-listen changed the stdout summary:\n--- plain ---\n%s\n--- listen ---\n%s", plain, listened)
 	}
 }

@@ -56,6 +56,7 @@ import (
 	"fbf/internal/sim"
 	"fbf/internal/store"
 	"fbf/internal/store/faultstore"
+	"fbf/internal/telemetry"
 	"fbf/internal/trace"
 	"fbf/internal/verify"
 	"fbf/internal/workload"
@@ -589,4 +590,69 @@ var (
 	// RunDaemon watches a store, running journaled rebuilds whenever
 	// damage appears, until Stop fires or MaxScans is reached.
 	RunDaemon = rebuild.RunDaemon
+)
+
+// Operational telemetry (wall-clock metrics for live rebuilds; see
+// "Operational telemetry" in DESIGN.md). Instrument a backend, register
+// producers on a MetricsRegistry, and serve /metrics, /healthz and
+// /progress with a MetricsServer — `fbfctl daemon -listen` wires all of
+// it together.
+type (
+	// TelemetryRegistry is the deterministic counter/gauge/histogram
+	// registry with Prometheus text and JSON exposition (wall-clock
+	// operational twin of the simulated-time MetricsRegistry).
+	TelemetryRegistry = telemetry.Registry
+	// TelemetryLabel is one name="value" pair on a registered series.
+	TelemetryLabel = telemetry.Label
+	// TelemetryServer serves a registry over HTTP with health and
+	// progress endpoints.
+	TelemetryServer = telemetry.Server
+	// RebuildProgressTracker is the live phase/progress snapshot source
+	// behind /progress.
+	RebuildProgressTracker = telemetry.ProgressTracker
+	// RebuildMetrics are the rebuild service's producer cells
+	// (RebuildConfig.Metrics).
+	RebuildMetrics = telemetry.RebuildMetrics
+	// DaemonMetrics are the watch daemon's producer cells
+	// (DaemonConfig.Metrics).
+	DaemonMetrics = telemetry.DaemonMetrics
+	// QoSMetrics are the serving-QoS throttle's producer cells,
+	// exported in simulated seconds.
+	QoSMetrics = telemetry.QoSMetrics
+	// InstrumentedStore counts ops/bytes/errors and times every backend
+	// call it forwards.
+	InstrumentedStore = store.Instrumented
+	// StoreOp names one backend operation class (read, write, ...).
+	StoreOp = store.Op
+	// StoreOpStats is one operation class's cumulative counters.
+	StoreOpStats = store.OpStats
+	// StoreThrottleStats is a Throttle's cumulative wait accounting.
+	StoreThrottleStats = store.ThrottleStats
+)
+
+// Telemetry functions.
+var (
+	// NewTelemetryRegistry builds an empty operational-metrics registry.
+	NewTelemetryRegistry = telemetry.NewRegistry
+	// NewTelemetryServer pairs a registry with an optional progress
+	// callback; Start it on an address to serve.
+	NewTelemetryServer = telemetry.NewServer
+	// InstrumentStore wraps a backend with per-op counters and latency
+	// histograms (compose outside a StoreThrottle to include its waits).
+	InstrumentStore = store.Instrument
+	// RegisterStoreMetrics exposes an instrumented backend's counters as
+	// the fbf_store_* families.
+	RegisterStoreMetrics = telemetry.RegisterBackend
+	// RegisterThrottleMetrics exposes a throttle's rate and waits as the
+	// fbf_throttle_* families.
+	RegisterThrottleMetrics = telemetry.RegisterThrottle
+	// NewRebuildMetrics registers the fbf_rebuild_* families and returns
+	// the cells RunService feeds.
+	NewRebuildMetrics = telemetry.NewRebuildMetrics
+	// NewDaemonMetrics registers the fbf_daemon_* families and returns
+	// the cells RunDaemon feeds.
+	NewDaemonMetrics = telemetry.NewDaemonMetrics
+	// NewQoSMetrics registers the fbf_qos_* families and returns the
+	// cells the serving QoS controller feeds.
+	NewQoSMetrics = telemetry.NewQoSMetrics
 )

@@ -66,7 +66,7 @@ func WriteChrome(w io.Writer, events []Event) error {
 		}
 		first = false
 		fmt.Fprintf(bw, `{"ph":%s,"pid":%d,"tid":%d,"ts":%s,`,
-			strconv.Quote(string(rune(e.Ph))), pids[e.Track.Group], e.Track.ID, chromeTS(e.TS))
+			strconv.Quote(e.Ph.String()), pids[e.Track.Group], e.Track.ID, chromeTS(e.TS))
 		if e.Ph == PhaseSpan {
 			fmt.Fprintf(bw, `"dur":%s,`, chromeTS(e.Dur))
 		}

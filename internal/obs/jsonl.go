@@ -27,7 +27,7 @@ func WriteJSONL(w io.Writer, events []Event) error {
 	bw := bufio.NewWriter(w)
 	for _, e := range events {
 		fmt.Fprintf(bw, `{"ph":%s,"group":%s,"id":%d,"ts":%d`,
-			strconv.Quote(string(rune(e.Ph))), strconv.Quote(e.Track.Group), e.Track.ID, int64(e.TS))
+			strconv.Quote(e.Ph.String()), strconv.Quote(e.Track.Group), e.Track.ID, int64(e.TS))
 		if e.Ph == PhaseSpan {
 			fmt.Fprintf(bw, `,"dur":%d`, int64(e.Dur))
 		}

@@ -53,6 +53,12 @@ const (
 	PhaseCounter Phase = 'C'
 )
 
+// String returns the phase's one-byte trace-format code ("X", "i",
+// "C"). A Phase is a byte, not a rune — converting through rune would
+// re-encode values above 0x7f as multi-byte UTF-8, which is why both
+// exporters render phases through this method.
+func (p Phase) String() string { return string([]byte{byte(p)}) }
+
 // Arg is one integer annotation on an event. Args are ordered; the
 // exporters preserve the order they were attached in.
 type Arg struct {

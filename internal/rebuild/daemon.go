@@ -8,6 +8,8 @@ package rebuild
 import (
 	"fmt"
 	"time"
+
+	"fbf/internal/telemetry"
 )
 
 // Daemon defaults.
@@ -52,6 +54,11 @@ type DaemonConfig struct {
 	// Logf, when non-nil, receives one line per daemon event (scan
 	// outcomes, retries, shutdown).
 	Logf func(format string, args ...any)
+
+	// Metrics, when non-nil, receives live watch-loop telemetry (scan
+	// cycles, backoff state) and drives its Tracker through the loop's
+	// phases — the state behind `fbfctl daemon -listen`'s /progress.
+	Metrics *telemetry.DaemonMetrics
 
 	// after is the timer seam (time.After when nil) so tests drive the
 	// loop without wall-clock sleeps.
@@ -139,31 +146,68 @@ func RunDaemon(cfg DaemonConfig) (*DaemonResult, error) {
 		return nil, &ConfigError{Field: "Service", Reason: "the daemon repairs; check-only and dry-run do not apply"}
 	}
 	cfg.Service.Stop = cfg.Stop
+	mt := cfg.Metrics
+	if mt != nil && mt.Tracker != nil {
+		// Chain the service's per-stripe Progress into the tracker so
+		// /progress follows the pass in flight; the caller's own hook
+		// still fires.
+		tracker, orig := mt.Tracker, cfg.Service.Progress
+		cfg.Service.Progress = func(p Progress) {
+			tracker.Stripe(p.Stripe, p.StripesDone, p.StripesTotal, p.ChunksRebuilt)
+			if orig != nil {
+				orig(p)
+			}
+		}
+	}
+	setPhase := func(phase string) {
+		if mt != nil && mt.Tracker != nil {
+			mt.Tracker.SetPhase(phase)
+		}
+	}
 
 	res := &DaemonResult{}
 	failures := 0
 	for {
 		if cfg.stopped() {
 			res.Interrupted = true
+			setPhase("stopped")
 			return res, nil
 		}
 		res.Scans++
+		if mt != nil {
+			mt.Scans.Inc()
+			if mt.Tracker != nil {
+				mt.Tracker.Scan()
+			}
+		}
 		sres, err := RunService(cfg.Service)
 		if err != nil {
 			failures++
 			res.Retries++
 			if cfg.Retries < 0 || failures > cfg.Retries {
+				setPhase("stopped")
 				return res, fmt.Errorf("rebuild daemon: giving up after %d consecutive failures: %w", failures, err)
 			}
 			backoff := min(cfg.Backoff<<(failures-1), cfg.MaxBackoff)
+			if mt != nil {
+				mt.Retries.Inc()
+				mt.Failures.Set(float64(failures))
+				mt.Backoff.Set(backoff.Seconds())
+			}
+			setPhase("backoff")
 			cfg.Logf("rebuild failed (attempt %d/%d), retrying in %v: %v", failures, cfg.Retries, backoff, err)
 			if cfg.wait(backoff) {
 				res.Interrupted = true
+				setPhase("stopped")
 				return res, nil
 			}
 			continue
 		}
 		failures = 0
+		if mt != nil {
+			mt.Failures.Set(0)
+			mt.Backoff.Set(0)
+		}
 		res.Last = sres
 		res.StripesRepaired += sres.StripesRepaired
 		res.ChunksRebuilt += sres.ChunksRebuilt
@@ -174,19 +218,29 @@ func RunDaemon(cfg DaemonConfig) (*DaemonResult, error) {
 		switch {
 		case sres.Interrupted:
 			res.Interrupted = true
+			setPhase("stopped")
 			cfg.Logf("scan %d: interrupted after %d stripes; journal kept at offset %d", res.Scans, sres.StripesRepaired, sres.JournalOffset)
 			return res, nil
 		case sres.Report.Clean() && sres.ChunksRebuilt == 0:
 			cfg.Logf("scan %d: clean", res.Scans)
 		default:
 			res.Rebuilds++
+			if mt != nil {
+				mt.Rebuilds.Inc()
+				if mt.Tracker != nil {
+					mt.Tracker.Rebuilt()
+				}
+			}
 			cfg.Logf("scan %d: rebuilt %d chunks in %d stripes", res.Scans, sres.ChunksRebuilt, sres.StripesRepaired)
 		}
 		if cfg.MaxScans > 0 && res.Scans >= cfg.MaxScans {
+			setPhase("stopped")
 			return res, nil
 		}
+		setPhase("watching")
 		if cfg.wait(cfg.Interval) {
 			res.Interrupted = true
+			setPhase("stopped")
 			return res, nil
 		}
 	}

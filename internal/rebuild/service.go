@@ -18,6 +18,7 @@ import (
 	"fbf/internal/core"
 	"fbf/internal/grid"
 	"fbf/internal/store"
+	"fbf/internal/telemetry"
 	"fbf/internal/verify"
 )
 
@@ -82,6 +83,10 @@ type ServiceConfig struct {
 	// Progress, when non-nil, is called after every repaired stripe —
 	// the hook fbfctl turns into mdadm-style percent-complete lines.
 	Progress func(Progress)
+
+	// Metrics, when non-nil, receives live wall-clock telemetry as the
+	// repair advances (scrapeable mid-run); nil runs take no extra work.
+	Metrics *telemetry.RebuildMetrics
 }
 
 // Progress reports how far a rebuild has advanced.
@@ -403,6 +408,10 @@ func RunService(cfg ServiceConfig) (*ServiceResult, error) {
 		return nil, err
 	}
 	res := &ServiceResult{Report: report}
+	if m := cfg.Metrics; m != nil {
+		m.ScanMissing.Set(float64(report.MissingChunks))
+		m.ScanCorrupt.Set(float64(report.CorruptChunks))
+	}
 	if cfg.CheckOnly {
 		return res, nil
 	}
@@ -436,6 +445,9 @@ func RunService(cfg ServiceConfig) (*ServiceResult, error) {
 		res.CacheHits, res.CacheMisses = st.Hits, st.Misses
 	}
 	res.DataLoss = len(res.Lost) > 0
+	if m := cfg.Metrics; m != nil {
+		m.DataLossChunks.Set(float64(len(res.Lost)))
+	}
 	if jn != nil {
 		res.JournalOffset = jn.Offset()
 		if err != nil || res.Interrupted {
@@ -449,6 +461,9 @@ func RunService(cfg ServiceConfig) (*ServiceResult, error) {
 		} else {
 			// Clean completion: mark done, then remove — the done
 			// record covers a crash inside this window.
+			if m := cfg.Metrics; m != nil {
+				m.JournalRecords.Inc()
+			}
 			ferr := jn.AppendDone()
 			if ferr == nil {
 				ferr = jn.Sync()
@@ -477,6 +492,9 @@ func (s *service) execute(jstate *JournalState) error {
 	cfg, res, report := s.cfg, s.res, s.res.Report
 	if s.journal != nil {
 		res.ResumedCommits = len(jstate.Commits)
+		if mt := cfg.Metrics; mt != nil {
+			mt.ResumedCommits.Add(uint64(res.ResumedCommits))
+		}
 		if err := s.verifyResumed(jstate); err != nil {
 			return err
 		}
@@ -487,6 +505,9 @@ func (s *service) execute(jstate *JournalState) error {
 			DamagedStripes: len(report.Stripes),
 		}); err != nil {
 			return err
+		}
+		if mt := cfg.Metrics; mt != nil {
+			mt.JournalRecords.Inc()
 		}
 		if err := s.journal.Sync(); err != nil {
 			return err
@@ -501,6 +522,9 @@ func (s *service) execute(jstate *JournalState) error {
 			}
 			return order[i].Stripe < order[j].Stripe
 		})
+	}
+	if mt := cfg.Metrics; mt != nil {
+		mt.StripesPlanned.Add(uint64(len(order)))
 	}
 	for _, d := range order {
 		if s.stopRequested() {
@@ -518,6 +542,10 @@ func (s *service) execute(jstate *JournalState) error {
 			break
 		}
 		res.StripesRepaired++
+		if mt := cfg.Metrics; mt != nil {
+			mt.StripesDone.Inc()
+			mt.Percent.Set(float64(Progress{StripesTotal: len(order), StripesDone: res.StripesRepaired}.Percent()))
+		}
 		if cfg.Progress != nil {
 			cfg.Progress(Progress{Stripe: d.Stripe, StripesTotal: len(order), StripesDone: res.StripesRepaired, ChunksRebuilt: res.ChunksRebuilt})
 		}
@@ -592,6 +620,9 @@ func (s *service) verifyResumed(st *JournalState) error {
 						return rerr
 					}
 					s.res.VerifyReads++
+					if mt := s.cfg.Metrics; mt != nil {
+						mt.VerifyReads.Inc()
+					}
 					return nil
 				})
 				switch {
@@ -611,6 +642,9 @@ func (s *service) verifyResumed(st *JournalState) error {
 				}
 			}
 			s.res.ResumeVerified++
+			if mt := s.cfg.Metrics; mt != nil {
+				mt.ResumedVerified.Inc()
+			}
 		}
 	}
 	return nil
@@ -645,6 +679,10 @@ func (s *service) flagResumedCorrupt(stripe int, cell grid.Coord) {
 	}
 	d.Corrupt = mergeCell(d.Corrupt, cell)
 	report.CorruptChunks++
+	if mt := s.cfg.Metrics; mt != nil {
+		mt.ResumedCorrupt.Inc()
+		mt.ScanCorrupt.Set(float64(report.CorruptChunks))
+	}
 }
 
 // service is the run state of one RunService call.
@@ -739,6 +777,9 @@ func (s *service) repairStripe(d StripeDamage) error {
 		if err := s.journal.AppendPlan(d.Stripe, lost); err != nil {
 			return err
 		}
+		if mt := s.cfg.Metrics; mt != nil {
+			mt.JournalRecords.Inc()
+		}
 	}
 
 	scheme, oracle := plan.scheme, plan.oracle
@@ -772,6 +813,9 @@ func (s *service) repairStripe(d StripeDamage) error {
 				if err := s.journal.AppendStripeDone(d.Stripe); err != nil {
 					return err
 				}
+				if mt := s.cfg.Metrics; mt != nil {
+					mt.JournalRecords.Inc()
+				}
 				if err := s.journal.Sync(); err != nil {
 					return err
 				}
@@ -781,6 +825,9 @@ func (s *service) repairStripe(d StripeDamage) error {
 		// Escalate: the cell joins the lost set; regenerate for the
 		// cells still needing repair (unsolved ones are lost).
 		s.res.Escalations++
+		if mt := s.cfg.Metrics; mt != nil {
+			mt.Escalations.Inc()
+		}
 		if inv, ok := s.policy.(cache.Invalidator); ok && s.policy != nil {
 			if id := (cache.ChunkID{Stripe: d.Stripe, Cell: *esc}); inv.Invalidate(id) {
 				s.dropBuf(id)
@@ -805,8 +852,14 @@ func (s *service) repairStripe(d StripeDamage) error {
 			if err := s.journal.AppendPlan(d.Stripe, lost); err != nil {
 				return err
 			}
+			if mt := s.cfg.Metrics; mt != nil {
+				mt.JournalRecords.Inc()
+			}
 		}
 		s.res.Regenerations++
+		if mt := s.cfg.Metrics; mt != nil {
+			mt.Regenerations.Inc()
+		}
 		scheme, oracle = plan.scheme, plan.oracle
 		for _, c := range plan.unsolved {
 			s.loseCell(d.Stripe, c)
@@ -856,6 +909,9 @@ func (s *service) replayChains(stripe int, scheme *core.Scheme, oracle *verify.O
 				return nil, err
 			}
 			s.res.ChunksVerified++
+			if mt := s.cfg.Metrics; mt != nil {
+				mt.ChunksVerified.Inc()
+			}
 		}
 		if err := s.cfg.Backend.WriteChunk(AddrOf(stripe, sel.Lost), acc); err != nil {
 			return nil, err
@@ -864,9 +920,19 @@ func (s *service) replayChains(stripe int, scheme *core.Scheme, oracle *verify.O
 			if err := s.journal.AppendCommit(AddrOf(stripe, sel.Lost), PayloadCRC(acc)); err != nil {
 				return nil, err
 			}
+			if mt := s.cfg.Metrics; mt != nil {
+				mt.JournalRecords.Inc()
+			}
 		}
 		s.res.BytesWritten += int64(len(acc))
 		s.res.ChunksRebuilt++
+		if mt := s.cfg.Metrics; mt != nil {
+			mt.BytesWritten.Add(uint64(len(acc)))
+			mt.ChunksRebuilt.Inc()
+			if sel.Decoded {
+				mt.ChunksDecoded.Inc()
+			}
+		}
 		if sel.Decoded {
 			s.res.ChunksDecoded++
 		}
@@ -890,6 +956,9 @@ func (s *service) oracleCheck(stripe int, oracle *verify.Oracle, cell grid.Coord
 			return fmt.Errorf("rebuild: oracle read %v: %d bytes, want %d", src, n, len(dst))
 		}
 		s.res.VerifyReads++
+		if mt := s.cfg.Metrics; mt != nil {
+			mt.VerifyReads.Inc()
+		}
 		return nil
 	})
 }
@@ -903,12 +972,20 @@ func (s *service) fetchInto(stripe int, cell grid.Coord, acc chunk.Chunk, first 
 	id := cache.ChunkID{Stripe: stripe, Cell: cell}
 	if s.policy != nil && s.policy.Request(id) {
 		if buf, ok := s.bufs[id]; ok {
+			if mt := s.cfg.Metrics; mt != nil {
+				mt.CacheHits.Inc()
+			}
 			fold(acc, buf, first)
 			return nil
 		}
 		// Residency without bytes would be a bookkeeping bug; fail
 		// loudly rather than reading stale data.
 		return fmt.Errorf("rebuild: cache hit for %v with no buffered bytes", id)
+	}
+	if s.policy != nil {
+		if mt := s.cfg.Metrics; mt != nil {
+			mt.CacheMisses.Inc()
+		}
 	}
 	buf := s.pool.GetRaw()
 	n, err := s.cfg.Backend.ReadChunk(AddrOf(stripe, cell), buf)
@@ -921,6 +998,9 @@ func (s *service) fetchInto(stripe int, cell grid.Coord, acc chunk.Chunk, first 
 		return &store.CorruptError{Addr: AddrOf(stripe, cell), Err: fmt.Errorf("payload is %d bytes, manifest says %d", n, s.cfg.Manifest.ChunkSize)}
 	}
 	s.res.DiskReads++
+	if mt := s.cfg.Metrics; mt != nil {
+		mt.DiskReads.Inc()
+	}
 	fold(acc, buf, first)
 	if s.policy != nil && s.policy.Contains(id) {
 		s.bufs[id] = buf

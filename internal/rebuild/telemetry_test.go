@@ -1,0 +1,262 @@
+package rebuild
+
+import (
+	"bytes"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"fbf/internal/sim"
+	"fbf/internal/telemetry"
+)
+
+// scrapeValue renders the registry's Prometheus exposition and returns
+// the value of an unlabeled series, the way a scraper would see it.
+func scrapeValue(t *testing.T, reg *telemetry.Registry, name string) float64 {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			v, err := strconv.ParseFloat(rest, 64)
+			if err != nil {
+				t.Fatalf("parse %s value %q: %v", name, rest, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("series %s not in exposition:\n%s", name, buf.String())
+	return 0
+}
+
+// TestServiceMetricsMatchResult runs an instrumented rebuild and checks
+// every telemetry cell against the ServiceResult ground truth, plus the
+// live-scrape contract: fbf_rebuild_stripes_done must grow monotonically
+// while the run is in flight.
+func TestServiceMetricsMatchResult(t *testing.T) {
+	m := testManifest("star", 5, 4, 96)
+	b := initMem(t, m, 42)
+	killDisk(t, b, 1)
+
+	reg := telemetry.NewRegistry()
+	rm := telemetry.NewRebuildMetrics(reg)
+
+	var doneSeen []float64
+	res, err := RunService(ServiceConfig{
+		Backend:     b,
+		Manifest:    m,
+		JournalPath: filepath.Join(t.TempDir(), "rebuild.journal"),
+		Metrics:     rm,
+		Progress: func(p Progress) {
+			// Scrape mid-run, exactly as the daemon's HTTP endpoint would.
+			doneSeen = append(doneSeen, scrapeValue(t, reg, "fbf_rebuild_stripes_done"))
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstGroundTruth(t, b, m, 42)
+
+	if len(doneSeen) != res.StripesRepaired {
+		t.Fatalf("progress hook fired %d times, want %d", len(doneSeen), res.StripesRepaired)
+	}
+	for i, v := range doneSeen {
+		if v != float64(i+1) {
+			t.Fatalf("mid-run scrape %d saw stripes_done=%v, want %d (monotone, one per stripe)", i, v, i+1)
+		}
+	}
+
+	counters := []struct {
+		name string
+		got  uint64
+		want uint64
+	}{
+		{"stripes_planned", rm.StripesPlanned.Value(), uint64(res.StripesRepaired)},
+		{"stripes_done", rm.StripesDone.Value(), uint64(res.StripesRepaired)},
+		{"chunks_rebuilt", rm.ChunksRebuilt.Value(), uint64(res.ChunksRebuilt)},
+		{"chunks_verified", rm.ChunksVerified.Value(), uint64(res.ChunksVerified)},
+		{"chunks_decoded", rm.ChunksDecoded.Value(), uint64(res.ChunksDecoded)},
+		{"disk_reads", rm.DiskReads.Value(), res.DiskReads},
+		{"verify_reads", rm.VerifyReads.Value(), res.VerifyReads},
+		{"cache_hits", rm.CacheHits.Value(), res.CacheHits},
+		{"cache_misses", rm.CacheMisses.Value(), res.CacheMisses},
+		{"bytes_written", rm.BytesWritten.Value(), uint64(res.BytesWritten)},
+		{"escalations", rm.Escalations.Value(), uint64(res.Escalations)},
+		{"regenerations", rm.Regenerations.Value(), uint64(res.Regenerations)},
+		{"resumed_commits", rm.ResumedCommits.Value(), uint64(res.ResumedCommits)},
+		{"resumed_verified", rm.ResumedVerified.Value(), uint64(res.ResumeVerified)},
+	}
+	for _, c := range counters {
+		if c.got != c.want {
+			t.Errorf("metric %s = %d, ServiceResult says %d", c.name, c.got, c.want)
+		}
+	}
+	if res.ChunksRebuilt == 0 || res.DiskReads == 0 {
+		t.Fatalf("degenerate run (rebuilt=%d reads=%d): counters not exercised", res.ChunksRebuilt, res.DiskReads)
+	}
+	// One journal record per scan, per stripe plan, and per chunk commit
+	// at minimum; an escalation-free run appends exactly those.
+	if wantMin := uint64(1 + res.StripesRepaired + res.ChunksRebuilt); rm.JournalRecords.Value() < wantMin {
+		t.Errorf("journal_records = %d, want at least %d (scan + plans + commits)", rm.JournalRecords.Value(), wantMin)
+	}
+	if got := rm.ScanMissing.Value(); got != float64(res.Report.MissingChunks) {
+		t.Errorf("scan_missing gauge = %v, report found %d", got, res.Report.MissingChunks)
+	}
+	if got := rm.Percent.Value(); got != 100 {
+		t.Errorf("progress_percent gauge = %v after a complete run, want 100", got)
+	}
+	if got := rm.DataLossChunks.Value(); got != 0 {
+		t.Errorf("data_loss_chunks gauge = %v on a solvable run", got)
+	}
+}
+
+// TestServiceMetricsNilIsNoop pins the zero-overhead contract: a run
+// without Metrics behaves identically (same result) as an instrumented
+// one over the same damage.
+func TestServiceMetricsNilIsNoop(t *testing.T) {
+	run := func(rm *telemetry.RebuildMetrics) *ServiceResult {
+		m := testManifest("tip", 5, 3, 64)
+		b := initMem(t, m, 42)
+		killDisk(t, b, 2)
+		res, err := RunService(ServiceConfig{Backend: b, Manifest: m, Metrics: rm})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkAgainstGroundTruth(t, b, m, 42)
+		return res
+	}
+	bare := run(nil)
+	instr := run(telemetry.NewRebuildMetrics(telemetry.NewRegistry()))
+	if bare.ChunksRebuilt != instr.ChunksRebuilt || bare.DiskReads != instr.DiskReads ||
+		bare.StripesRepaired != instr.StripesRepaired || bare.BytesWritten != instr.BytesWritten {
+		t.Fatalf("instrumented run diverged: bare=%+v instrumented=%+v", bare, instr)
+	}
+}
+
+// TestDaemonMetrics drives the watch loop with telemetry armed and
+// checks the pass counters and the progress tracker's terminal state.
+func TestDaemonMetrics(t *testing.T) {
+	m := testManifest("star", 5, 2, 64)
+	b := initMem(t, m, resumeSeed)
+	killDisk(t, b, 1)
+
+	reg := telemetry.NewRegistry()
+	dm := telemetry.NewDaemonMetrics(reg)
+	res, err := RunDaemon(DaemonConfig{
+		Service:  daemonService(t, b, m),
+		MaxScans: 2,
+		after:    instantAfter,
+		Metrics:  dm,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dm.Scans.Value() != uint64(res.Scans) || dm.Rebuilds.Value() != uint64(res.Rebuilds) {
+		t.Fatalf("daemon counters scans=%d rebuilds=%d, result says %d/%d",
+			dm.Scans.Value(), dm.Rebuilds.Value(), res.Scans, res.Rebuilds)
+	}
+	if dm.Retries.Value() != 0 || dm.Failures.Value() != 0 || dm.Backoff.Value() != 0 {
+		t.Fatalf("healthy daemon shows failure state: retries=%d failures=%v backoff=%v",
+			dm.Retries.Value(), dm.Failures.Value(), dm.Backoff.Value())
+	}
+	snap := dm.Tracker.Snapshot()
+	if snap.Phase != "stopped" || snap.Scans != 2 || snap.Rebuilds != 1 {
+		t.Fatalf("tracker terminal snapshot = %+v, want stopped after 2 scans / 1 rebuild", snap)
+	}
+}
+
+// TestDaemonMetricsBackoff pins the failure-path gauges: transient scan
+// errors bump the retry counter and surface the growing backoff, and a
+// later success clears both gauges.
+func TestDaemonMetricsBackoff(t *testing.T) {
+	m := testManifest("star", 5, 2, 64)
+	b := initMem(t, m, resumeSeed)
+	killDisk(t, b, 2)
+	flaky := &flakyBackend{Backend: b, failures: 2}
+
+	reg := telemetry.NewRegistry()
+	dm := telemetry.NewDaemonMetrics(reg)
+	var maxFailures, maxBackoff float64
+	res, err := RunDaemon(DaemonConfig{
+		Service:  daemonService(t, flaky, m),
+		MaxScans: 4,
+		Retries:  3,
+		Backoff:  time.Second,
+		after: func(d time.Duration) <-chan time.Time {
+			if f := dm.Failures.Value(); f > maxFailures {
+				maxFailures = f
+			}
+			if bo := dm.Backoff.Value(); bo > maxBackoff {
+				maxBackoff = bo
+			}
+			return instantAfter(d)
+		},
+		Metrics: dm,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dm.Retries.Value() != uint64(res.Retries) || res.Retries != 2 {
+		t.Fatalf("retries metric %d vs result %d, want 2", dm.Retries.Value(), res.Retries)
+	}
+	if maxFailures != 2 || maxBackoff != 2 {
+		t.Fatalf("observed failure peaks: failures=%v backoff=%vs, want 2 and 2s (1s then doubled)", maxFailures, maxBackoff)
+	}
+	if dm.Failures.Value() != 0 || dm.Backoff.Value() != 0 {
+		t.Fatalf("gauges not cleared after recovery: failures=%v backoff=%v", dm.Failures.Value(), dm.Backoff.Value())
+	}
+}
+
+// TestQoSMetricsMirrorSteps arms QoSConfig.Metrics and replays the
+// gauges against the controller's own AIMD step log.
+func TestQoSMetricsMirrorSteps(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	qm := telemetry.NewQoSMetrics(reg)
+	q := newQoSController(QoSConfig{SLOp99Ms: 50, MinSamples: 1, Burst: 1, Metrics: qm}, 2)
+
+	if qm.Rate.Value() != 100 || qm.SLO.Value() != 0.05 {
+		t.Fatalf("initial gauges rate=%v slo=%v, want defaulted 100 and 0.05s", qm.Rate.Value(), qm.SLO.Value())
+	}
+
+	q.observe(10) // comfortably inside the SLO
+	q.tick(0)
+	q.observe(500) // egregious breach
+	q.tick(sim.Second)
+
+	if len(q.steps) != 2 {
+		t.Fatalf("controller logged %d steps, want 2", len(q.steps))
+	}
+	if qm.Windows.Value() != 2 || qm.Breaches.Value() != 1 {
+		t.Fatalf("windows=%d breaches=%d, want 2 and 1", qm.Windows.Value(), qm.Breaches.Value())
+	}
+	last := q.steps[len(q.steps)-1]
+	if !last.Breached {
+		t.Fatalf("second window should breach: %+v", last)
+	}
+	if qm.Rate.Value() != last.RateAfter {
+		t.Fatalf("rate gauge %v, step says %v", qm.Rate.Value(), last.RateAfter)
+	}
+	if qm.WindowP99.Value() != last.P99Ms/1e3 {
+		t.Fatalf("p99 gauge %vs, step says %vms", qm.WindowP99.Value(), last.P99Ms)
+	}
+
+	// Two back-to-back reservations on one disk: the second must queue,
+	// and the accumulated delay surfaces in simulated seconds.
+	q.gate(0, 0)
+	at := q.gate(0, 0)
+	if at == 0 {
+		t.Fatal("second reservation issued instantly despite Burst=1")
+	}
+	if want := float64(q.throttleDelay) / float64(sim.Second); qm.ThrottleDelay.Value() != want || want <= 0 {
+		t.Fatalf("throttle delay gauge %v, controller accumulated %v", qm.ThrottleDelay.Value(), want)
+	}
+
+	// Scrape sanity: the QoS family renders under its registered names.
+	if got := scrapeValue(t, reg, "fbf_qos_windows"); got != 2 {
+		t.Fatalf("scraped fbf_qos_windows = %v, want 2", got)
+	}
+}

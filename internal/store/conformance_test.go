@@ -23,6 +23,16 @@ var backends = map[string]func(t *testing.T) Backend{
 	},
 	"memstore": func(t *testing.T) Backend { return NewMem() },
 	"objstore": func(t *testing.T) Backend { return NewObj(NewMemObjects()) },
+	// Instrument is a transparent wrapper: it must pass the full
+	// contract over any backend, alone and stacked on a Throttle.
+	"instrumented": func(t *testing.T) Backend { return Instrument(NewMem()) },
+	"throttled-instrumented": func(t *testing.T) Backend {
+		th, err := NewThrottle(NewMem(), 1<<30) // ample: the suite must not stall
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Instrument(th)
+	},
 }
 
 // payload derives a deterministic test payload for an address.

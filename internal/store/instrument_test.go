@@ -1,0 +1,200 @@
+package store
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// countingBackend tallies calls so instrumented counts can be compared
+// op-for-op against ground truth.
+type countingBackend struct {
+	inner Backend
+	calls map[Op]uint64
+}
+
+func newCounting(inner Backend) *countingBackend {
+	return &countingBackend{inner: inner, calls: map[Op]uint64{}}
+}
+
+func (c *countingBackend) ReadChunk(a Addr, dst []byte) (int, error) {
+	c.calls[OpRead]++
+	return c.inner.ReadChunk(a, dst)
+}
+func (c *countingBackend) WriteChunk(a Addr, data []byte) error {
+	c.calls[OpWrite]++
+	return c.inner.WriteChunk(a, data)
+}
+func (c *countingBackend) Delete(a Addr) error { c.calls[OpDelete]++; return c.inner.Delete(a) }
+func (c *countingBackend) List(disk int) ([]Addr, error) {
+	c.calls[OpList]++
+	return c.inner.List(disk)
+}
+func (c *countingBackend) Stat(a Addr) (Info, error) { c.calls[OpStat]++; return c.inner.Stat(a) }
+
+// TestInstrumentCountsMatchBackend drives a mixed workload and checks
+// every instrumented op count against the raw backend's own tally, and
+// the byte counters against the payloads moved.
+func TestInstrumentCountsMatchBackend(t *testing.T) {
+	raw := newCounting(NewMem())
+	in := Instrument(raw)
+
+	var wantReadBytes, wantWriteBytes uint64
+	for i := 0; i < 7; i++ {
+		a := Addr{Disk: i % 3, Stripe: i, Chunk: 0}
+		data := payload(a, 100+i)
+		if err := in.WriteChunk(a, data); err != nil {
+			t.Fatalf("WriteChunk: %v", err)
+		}
+		wantWriteBytes += uint64(len(data))
+	}
+	dst := make([]byte, 256)
+	for i := 0; i < 5; i++ {
+		a := Addr{Disk: i % 3, Stripe: i, Chunk: 0}
+		n, err := in.ReadChunk(a, dst)
+		if err != nil {
+			t.Fatalf("ReadChunk: %v", err)
+		}
+		wantReadBytes += uint64(n)
+	}
+	if _, err := in.Stat(Addr{Disk: 0, Stripe: 0, Chunk: 0}); err != nil {
+		t.Fatalf("Stat: %v", err)
+	}
+	if _, err := in.List(1); err != nil {
+		t.Fatalf("List: %v", err)
+	}
+	if err := in.Delete(Addr{Disk: 0, Stripe: 0, Chunk: 0}); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	// Error-path calls count too: every call is an op.
+	if _, err := in.ReadChunk(Addr{Disk: 9, Stripe: 9, Chunk: 9}, dst); !IsNotFound(err) {
+		t.Fatalf("read of absent chunk: %v, want not-found", err)
+	}
+
+	for _, op := range Ops() {
+		if got, want := in.Stats(op).Ops, raw.calls[op]; got != want {
+			t.Errorf("%v: instrumented %d ops, backend saw %d", op, got, want)
+		}
+	}
+	if got := in.Stats(OpRead).Bytes; got != wantReadBytes {
+		t.Errorf("read bytes = %d, want %d", got, wantReadBytes)
+	}
+	if got := in.Stats(OpWrite).Bytes; got != wantWriteBytes {
+		t.Errorf("write bytes = %d, want %d", got, wantWriteBytes)
+	}
+	if got := in.Stats(OpRead).NotFound; got != 1 {
+		t.Errorf("read not-found count = %d, want 1", got)
+	}
+	rs := in.Stats(OpRead)
+	if total := histTotal(rs.LatencyCounts); total != rs.Ops {
+		t.Errorf("read latency observations = %d, want %d (one per op)", total, rs.Ops)
+	}
+}
+
+func histTotal(counts []uint64) uint64 {
+	var n uint64
+	for _, c := range counts {
+		n += c
+	}
+	return n
+}
+
+// failingBackend returns a fixed error from every operation.
+type failingBackend struct{ err error }
+
+func (f failingBackend) ReadChunk(Addr, []byte) (int, error) { return 0, f.err }
+func (f failingBackend) WriteChunk(Addr, []byte) error       { return f.err }
+func (f failingBackend) Delete(Addr) error                   { return f.err }
+func (f failingBackend) List(int) ([]Addr, error)            { return nil, f.err }
+func (f failingBackend) Stat(Addr) (Info, error)             { return Info{}, f.err }
+
+// TestInstrumentErrorTaxonomy checks each error class lands in its own
+// counter: not-found, corrupt, and everything else as io.
+func TestInstrumentErrorTaxonomy(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		read func(OpStats) uint64
+	}{
+		{"notfound", &NotFoundError{Addr: Addr{}}, func(s OpStats) uint64 { return s.NotFound }},
+		{"corrupt", &CorruptError{Addr: Addr{}}, func(s OpStats) uint64 { return s.Corrupt }},
+		{"io", errors.New("disk on fire"), func(s OpStats) uint64 { return s.IO }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			in := Instrument(failingBackend{err: tc.err})
+			dst := make([]byte, 8)
+			in.ReadChunk(Addr{}, dst)
+			in.WriteChunk(Addr{}, dst)
+			in.Delete(Addr{})
+			in.List(0)
+			in.Stat(Addr{})
+			for _, op := range Ops() {
+				st := in.Stats(op)
+				if st.Ops != 1 {
+					t.Errorf("%v: %d ops, want 1", op, st.Ops)
+				}
+				if got := tc.read(st); got != 1 {
+					t.Errorf("%v: %s count = %d, want 1", op, tc.name, got)
+				}
+				if st.Bytes != 0 {
+					t.Errorf("%v: %d bytes counted on a failed call", op, st.Bytes)
+				}
+			}
+		})
+	}
+}
+
+// TestInstrumentIncludesThrottleWait pins the composition contract:
+// instrumenting outside a Throttle, the recorded latency includes the
+// time the throttle slept repaying its token deficit. Both clocks are
+// faked, so the test is deterministic and sleep-free.
+func TestInstrumentIncludesThrottleWait(t *testing.T) {
+	const rate = 1000 // bytes/sec, so a 2000-byte write overdraws a full bucket by 1s
+	th, err := NewThrottle(NewMem(), rate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(0, 0)
+	var slept time.Duration
+	th.now = func() time.Time { return now }
+	th.sleep = func(d time.Duration) { slept += d; now = now.Add(d) }
+
+	in := Instrument(th)
+	in.now = func() time.Time { return now }
+
+	a := Addr{Disk: 0, Stripe: 0, Chunk: 0}
+	data := make([]byte, 2*rate) // drains the 1-second burst and overdraws by rate bytes
+	if err := in.WriteChunk(a, data); err != nil {
+		t.Fatalf("WriteChunk: %v", err)
+	}
+	if slept != time.Second {
+		t.Fatalf("throttle slept %v, want 1s (overdraw of %d bytes at %d B/s)", slept, rate, rate)
+	}
+	st := in.Stats(OpWrite)
+	if st.LatencySum != slept.Seconds() {
+		t.Fatalf("instrumented write latency %.3fs, want the full throttle wait %.3fs", st.LatencySum, slept.Seconds())
+	}
+	ts := th.Stats()
+	if ts.Waits != 1 || ts.Waited != time.Second {
+		t.Fatalf("throttle stats = %+v, want 1 wait of 1s", ts)
+	}
+	if ts.Rate != rate {
+		t.Fatalf("throttle rate = %v, want %d", ts.Rate, rate)
+	}
+
+	// A second small write inside the repaid budget must not wait, and
+	// its recorded latency stays zero under the fake clock.
+	now = now.Add(2 * time.Second) // refill
+	before := slept
+	if err := in.WriteChunk(a, make([]byte, 10)); err != nil {
+		t.Fatalf("WriteChunk: %v", err)
+	}
+	if slept != before {
+		t.Fatalf("unthrottled write slept %v", slept-before)
+	}
+	st = in.Stats(OpWrite)
+	if st.Ops != 2 || st.LatencySum != time.Second.Seconds() {
+		t.Fatalf("after 2 writes: ops=%d sum=%.3fs, want ops=2 sum=1.000s", st.Ops, st.LatencySum)
+	}
+}

@@ -24,6 +24,8 @@ type Throttle struct {
 	mu     sync.Mutex
 	tokens float64
 	last   time.Time
+	waits  uint64        // operations that slept for budget
+	waited time.Duration // total time slept
 
 	// Test seams; real use keeps the defaults.
 	now   func() time.Time
@@ -69,10 +71,29 @@ func (t *Throttle) take(n int) {
 	if t.tokens < 0 {
 		wait = time.Duration(-t.tokens / t.rate * float64(time.Second))
 	}
+	if wait > 0 {
+		t.waits++
+		t.waited += wait
+	}
 	t.mu.Unlock()
 	if wait > 0 {
 		t.sleep(wait)
 	}
+}
+
+// ThrottleStats is a Throttle's budget state at a point in time.
+type ThrottleStats struct {
+	Rate   float64       // configured bytes per second
+	Tokens float64       // current bucket level (negative while in debt)
+	Waits  uint64        // operations that slept for budget
+	Waited time.Duration // total time slept
+}
+
+// Stats snapshots the throttle's budget state.
+func (t *Throttle) Stats() ThrottleStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return ThrottleStats{Rate: t.rate, Tokens: t.tokens, Waits: t.waits, Waited: t.waited}
 }
 
 // ReadChunk implements Backend, charging the payload size after the

@@ -1,0 +1,197 @@
+package telemetry
+
+import (
+	"fbf/internal/store"
+)
+
+// RegisterBackend exposes an instrumented backend's counters on reg:
+//
+//	fbf_store_ops{op=...}              calls completed, per operation
+//	fbf_store_errors{op=...,type=...}  failures by taxonomy class
+//	                                   (notfound / corrupt / io)
+//	fbf_store_bytes{op=...}            payload bytes moved (read, write)
+//	fbf_store_op_seconds{op=...}       per-op wall-clock latency
+//	                                   histogram, throttle wait included
+//
+// The series are CounterFunc/HistogramFunc bridges over the wrapper's
+// own counters — nothing is copied until a scrape asks.
+func RegisterBackend(reg *Registry, in *store.Instrumented) {
+	for _, op := range store.Ops() {
+		op := op
+		opLabel := Label{Key: "op", Value: op.String()}
+		reg.CounterFunc("fbf_store_ops", "Backend operations completed.",
+			func() float64 { return float64(in.Stats(op).Ops) }, opLabel)
+		for _, class := range []struct {
+			name string
+			read func(store.OpStats) uint64
+		}{
+			{"notfound", func(s store.OpStats) uint64 { return s.NotFound }},
+			{"corrupt", func(s store.OpStats) uint64 { return s.Corrupt }},
+			{"io", func(s store.OpStats) uint64 { return s.IO }},
+		} {
+			class := class
+			reg.CounterFunc("fbf_store_errors", "Backend operation failures by error class.",
+				func() float64 { return float64(class.read(in.Stats(op))) },
+				opLabel, Label{Key: "type", Value: class.name})
+		}
+		if op == store.OpRead || op == store.OpWrite {
+			reg.CounterFunc("fbf_store_bytes", "Payload bytes moved through the backend.",
+				func() float64 { return float64(in.Stats(op).Bytes) }, opLabel)
+		}
+		reg.HistogramFunc("fbf_store_op_seconds", "Backend operation wall-clock latency in seconds.",
+			func() HistogramSnapshot {
+				s := in.Stats(op)
+				return HistogramSnapshot{Bounds: store.InstrumentBounds(), Counts: s.LatencyCounts, Sum: s.LatencySum}
+			}, opLabel)
+	}
+}
+
+// RegisterThrottle exposes a token-bucket throttle's budget state:
+//
+//	fbf_throttle_rate_bytes_per_sec  configured bandwidth cap
+//	fbf_throttle_tokens_bytes        current bucket level (negative in debt)
+//	fbf_throttle_waits               operations that slept for budget
+//	fbf_throttle_waited_seconds      total time slept
+func RegisterThrottle(reg *Registry, t *store.Throttle) {
+	reg.GaugeFunc("fbf_throttle_rate_bytes_per_sec", "Configured rebuild bandwidth cap in bytes per second.",
+		func() float64 { return t.Stats().Rate })
+	reg.GaugeFunc("fbf_throttle_tokens_bytes", "Token bucket level in bytes; negative while repaying debt.",
+		func() float64 { return t.Stats().Tokens })
+	reg.CounterFunc("fbf_throttle_waits", "Operations that slept waiting for bandwidth budget.",
+		func() float64 { return float64(t.Stats().Waits) })
+	reg.CounterFunc("fbf_throttle_waited_seconds", "Total time spent sleeping for bandwidth budget, in seconds.",
+		func() float64 { return t.Stats().Waited.Seconds() })
+}
+
+// RebuildMetrics holds the cells rebuild.RunService updates while it
+// repairs an array. Every hook in the service is a nil check on the
+// struct, so un-instrumented runs execute exactly as before.
+type RebuildMetrics struct {
+	StripesPlanned Counter // damaged stripes ordered for repair, cumulative across passes
+	StripesDone    Counter // stripes fully repaired
+	ChunksRebuilt  Counter // chunks recovered and written back
+	ChunksVerified Counter // recovered chunks diffed clean against the GF(2) oracle
+	ChunksDecoded  Counter // chunks rebuilt via the decoder fallback rather than a single chain
+
+	DiskReads    Counter // source chunks fetched from the backend
+	VerifyReads  Counter // backend reads issued by the oracle and resume re-verification
+	CacheHits    Counter // source fetches answered by the cache
+	CacheMisses  Counter // source fetches that went to the backend
+	BytesWritten Counter // recovered payload bytes written
+
+	Escalations   Counter // surviving chunks found unreadable mid-chain
+	Regenerations Counter // recovery-scheme regenerations after an escalation
+
+	JournalRecords  Counter // write-ahead journal records appended
+	ResumedCommits  Counter // journal chunk commits found on resume
+	ResumedVerified Counter // resumed commits re-verified byte-exact
+	ResumedCorrupt  Counter // resumed commits that lied (CRC or oracle mismatch), re-repaired
+
+	ScanMissing    Gauge // missing chunks found by the latest scan
+	ScanCorrupt    Gauge // corrupt chunks found by the latest scan
+	DataLossChunks Gauge // chunks declared unrecoverable by the latest pass
+	Percent        Gauge // latest pass progress, 0-100
+}
+
+// NewRebuildMetrics registers the rebuild service's metric families on
+// reg and returns the producer cells.
+func NewRebuildMetrics(reg *Registry) *RebuildMetrics {
+	m := &RebuildMetrics{}
+	for _, c := range []struct {
+		cell *Counter
+		name string
+		help string
+	}{
+		{&m.StripesPlanned, "fbf_rebuild_stripes_planned", "Damaged stripes ordered for repair, cumulative across passes."},
+		{&m.StripesDone, "fbf_rebuild_stripes_done", "Stripes fully repaired."},
+		{&m.ChunksRebuilt, "fbf_rebuild_chunks_rebuilt", "Chunks recovered and written back."},
+		{&m.ChunksVerified, "fbf_rebuild_chunks_verified", "Recovered chunks diffed clean against the GF(2) oracle."},
+		{&m.ChunksDecoded, "fbf_rebuild_chunks_decoded", "Chunks rebuilt via the decoder fallback rather than a single chain."},
+		{&m.DiskReads, "fbf_rebuild_disk_reads", "Source chunks fetched from the backend."},
+		{&m.VerifyReads, "fbf_rebuild_verify_reads", "Backend reads issued by oracle checks and resume re-verification."},
+		{&m.CacheHits, "fbf_rebuild_cache_hits", "Source fetches answered by the recovery cache."},
+		{&m.CacheMisses, "fbf_rebuild_cache_misses", "Source fetches that went to the backend."},
+		{&m.BytesWritten, "fbf_rebuild_bytes_written", "Recovered payload bytes written."},
+		{&m.Escalations, "fbf_rebuild_escalations", "Surviving chunks found unreadable mid-chain."},
+		{&m.Regenerations, "fbf_rebuild_regenerations", "Recovery-scheme regenerations after an escalation."},
+		{&m.JournalRecords, "fbf_rebuild_journal_records", "Write-ahead journal records appended."},
+		{&m.ResumedCommits, "fbf_rebuild_resumed_commits", "Journal chunk commits found on resume."},
+		{&m.ResumedVerified, "fbf_rebuild_resumed_verified", "Resumed commits re-verified byte-exact."},
+		{&m.ResumedCorrupt, "fbf_rebuild_resumed_corrupt", "Resumed commits that failed re-verification and were re-repaired."},
+	} {
+		reg.CounterFunc(c.name, c.help, cellValue(c.cell))
+	}
+	for _, g := range []struct {
+		cell *Gauge
+		name string
+		help string
+	}{
+		{&m.ScanMissing, "fbf_rebuild_scan_missing_chunks", "Missing chunks found by the latest scan."},
+		{&m.ScanCorrupt, "fbf_rebuild_scan_corrupt_chunks", "Corrupt chunks found by the latest scan."},
+		{&m.DataLossChunks, "fbf_rebuild_data_loss_chunks", "Chunks declared unrecoverable by the latest pass."},
+		{&m.Percent, "fbf_rebuild_progress_percent", "Latest pass progress, 0-100."},
+	} {
+		reg.GaugeFunc(g.name, g.help, g.cell.Value)
+	}
+	return m
+}
+
+// cellValue bridges an embedded Counter cell into a CounterFunc read.
+// Registering the cells as funcs keeps the structs plain values (no
+// pointer fields to nil-check twice) while sharing one registry path.
+func cellValue(c *Counter) func() float64 {
+	return func() float64 { return float64(c.Value()) }
+}
+
+// DaemonMetrics holds the cells rebuild.RunDaemon updates, plus the
+// progress tracker behind /progress.
+type DaemonMetrics struct {
+	Scans    Counter // scan + repair passes started
+	Rebuilds Counter // passes that repaired damage
+	Retries  Counter // passes that failed and scheduled a backoff retry
+
+	Backoff  Gauge // current backoff delay in seconds (0 when healthy)
+	Failures Gauge // consecutive failed passes
+
+	Tracker *ProgressTracker // live phase + per-stripe progress
+}
+
+// NewDaemonMetrics registers the watch daemon's metric families on reg
+// and returns the producer cells.
+func NewDaemonMetrics(reg *Registry) *DaemonMetrics {
+	m := &DaemonMetrics{Tracker: NewProgressTracker()}
+	reg.CounterFunc("fbf_daemon_scans", "Scan and repair passes started.", cellValue(&m.Scans))
+	reg.CounterFunc("fbf_daemon_rebuilds", "Passes that repaired damage.", cellValue(&m.Rebuilds))
+	reg.CounterFunc("fbf_daemon_retries", "Failed passes that scheduled a backoff retry.", cellValue(&m.Retries))
+	reg.GaugeFunc("fbf_daemon_backoff_seconds", "Current backoff delay in seconds; 0 while healthy.", m.Backoff.Value)
+	reg.GaugeFunc("fbf_daemon_consecutive_failures", "Consecutive failed passes.", m.Failures.Value)
+	return m
+}
+
+// QoSMetrics holds the cells the QoS rebuild throttle's AIMD controller
+// updates at every decision window. The controller runs in simulated
+// time, so the latency gauges report simulated seconds — the exposition
+// is still useful live because the simulation advances in wall-clock
+// lockstep with the serving run driving it.
+type QoSMetrics struct {
+	Windows  Counter // AIMD decision windows evaluated
+	Breaches Counter // windows whose foreground p99 exceeded the SLO
+
+	Rate          Gauge // current rebuild token rate (tokens per simulated second)
+	WindowP99     Gauge // last window's foreground p99, simulated seconds
+	SLO           Gauge // configured p99 SLO, simulated seconds
+	ThrottleDelay Gauge // current per-token issue delay, simulated seconds
+}
+
+// NewQoSMetrics registers the QoS throttle's metric families on reg and
+// returns the producer cells.
+func NewQoSMetrics(reg *Registry) *QoSMetrics {
+	m := &QoSMetrics{}
+	reg.CounterFunc("fbf_qos_windows", "AIMD decision windows evaluated.", cellValue(&m.Windows))
+	reg.CounterFunc("fbf_qos_breaches", "Windows whose foreground p99 exceeded the SLO.", cellValue(&m.Breaches))
+	reg.GaugeFunc("fbf_qos_rate_tokens_per_sec", "Current rebuild token rate per simulated second.", m.Rate.Value)
+	reg.GaugeFunc("fbf_qos_window_p99_seconds", "Last window's foreground p99 in simulated seconds.", m.WindowP99.Value)
+	reg.GaugeFunc("fbf_qos_slo_seconds", "Configured foreground p99 SLO in simulated seconds.", m.SLO.Value)
+	reg.GaugeFunc("fbf_qos_throttle_delay_seconds", "Current per-token issue delay in simulated seconds.", m.ThrottleDelay.Value)
+	return m
+}
